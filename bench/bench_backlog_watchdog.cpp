@@ -1,0 +1,188 @@
+// §VI — the 2-hour watchdog and its interaction with backlogs.
+//
+// Paper claims reproduced here:
+//   * the 2-hour window holds ~21 days of state-3 dGPS files or ~259 days
+//     of state-2 files (at the serial fetch rate);
+//   * beyond that, data "will be processed file by file, and so over the
+//     course of a few days the backlog will be cleared";
+//   * a single file exceeding one window means "no progress could ever be
+//     made" — a livelock cured by resuming partial transfers;
+//   * a hung transfer is terminated by the watchdog, not the battery.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/watchdog.h"
+#include "env/environment.h"
+#include "hw/dgps.h"
+#include "hw/serial_link.h"
+#include "proto/transfer_manager.h"
+#include "station/station.h"
+#include "util/strings.h"
+
+namespace gw {
+namespace {
+
+using namespace util::literals;
+
+void capacity_arithmetic() {
+  bench::subheading("1. how much backlog fits one 2-hour window");
+  const hw::SerialLink link{util::Rng{1}};
+  const double per_file_s =
+      link.transfer_duration(165_KiB).to_seconds();
+  const int capacity = int(7200.0 / per_file_s);
+  bench::note("serial fetch: " + util::format_fixed(per_file_s, 1) +
+              " s per nominal 165 KB file -> " + std::to_string(capacity) +
+              " files per 2 h window");
+  bench::paper_vs_measured("state 3 (12 files/day) backlog limit",
+                           "~21 days",
+                           util::format_fixed(capacity / 12.0, 1) + " days");
+  bench::paper_vs_measured("state 2 (1 file/day) backlog limit", "~259 days",
+                           std::to_string(capacity) + " days");
+}
+
+void fetch_backlog_drain() {
+  bench::subheading("2. dGPS fetch backlog drains file by file across days");
+  bench::row({"Backlog (days@12/day)", "Files", "Windows to drain"},
+             {21, 7, 17});
+  for (const int backlog_days : {10, 21, 30, 60}) {
+    sim::Simulation simulation{sim::at_midnight(2009, 3, 1)};
+    env::Environment environment{1};
+    power::PowerSystemConfig power_config;
+    power::PowerSystem power{simulation, environment, power_config};
+    hw::DgpsReceiver dgps{simulation, power, util::Rng{3}};
+    // Accumulate the backlog by cycling the receiver as the MSP would.
+    for (int i = 0; i < backlog_days * 12; ++i) {
+      dgps.power_on();
+      simulation.run_until(simulation.now() + sim::seconds(308));
+      dgps.power_off();
+      simulation.run_until(simulation.now() + sim::seconds(10));
+    }
+    const std::size_t files = dgps.stored_files();
+    // Daily windows: fetch over the serial link for at most 2 h/day.
+    hw::SerialLink serial{util::Rng{9}};
+    int windows = 0;
+    while (dgps.stored_files() > 0 && windows < 100) {
+      sim::Duration used{0};
+      while (dgps.stored_files() > 0) {
+        const auto next = dgps.peek_oldest();
+        const auto estimate = serial.transfer_duration(next.value().size);
+        if (used + estimate > sim::hours(2)) break;
+        (void)serial.attempt_transfer(next.value().size);
+        (void)dgps.fetch_oldest();
+        used += estimate;
+      }
+      ++windows;
+    }
+    bench::row({std::to_string(backlog_days), std::to_string(files),
+                std::to_string(windows)},
+               {21, 7, 17});
+  }
+  bench::note("paper: backlogs beyond one window clear over a few days");
+}
+
+void gprs_backlog_drain() {
+  bench::subheading("3. GPRS upload backlog (\"GPRS has not worked for a few days\")");
+  bench::row({"Days offline", "Queued KiB", "Windows to clear"}, {13, 11, 17});
+  for (const int offline_days : {3, 7, 14, 30}) {
+    sim::Simulation simulation{sim::at_midnight(2009, 3, 1)};
+    env::Environment environment{1};
+    power::PowerSystemConfig power_config;
+    power::PowerSystem power{simulation, environment, power_config};
+    hw::GprsConfig gprs_config;
+    gprs_config.registration_success = 1.0;
+    gprs_config.drop_per_minute = 0.0;
+    hw::GprsModem modem{simulation, power, util::Rng{5}, gprs_config};
+    modem.power_on();
+    proto::TransferManager manager;
+    // One state-2 day ≈ 1 dGPS file + sensors + log.
+    for (int day = 0; day < offline_days; ++day) {
+      manager.enqueue("dgps_" + std::to_string(day), 165_KiB);
+      manager.enqueue("sensors_" + std::to_string(day), 4_KiB);
+      manager.enqueue("log_" + std::to_string(day), 12_KiB);
+    }
+    const auto queued = manager.queued_bytes();
+    int windows = 0;
+    while (!manager.empty() && windows < 60) {
+      (void)manager.run_window(modem, sim::hours(2));
+      ++windows;
+    }
+    bench::row({std::to_string(offline_days),
+                util::format_fixed(queued.kib(), 0),
+                std::to_string(windows)},
+               {13, 11, 17});
+  }
+}
+
+void livelock() {
+  bench::subheading("4. the single-oversized-file livelock and its fix");
+  for (const bool chunk_resume : {false, true}) {
+    sim::Simulation simulation{sim::at_midnight(2009, 3, 1)};
+    env::Environment environment{1};
+    power::PowerSystemConfig power_config;
+    power::PowerSystem power{simulation, environment, power_config};
+    hw::GprsConfig gprs_config;
+    gprs_config.registration_success = 1.0;
+    gprs_config.drop_per_minute = 0.0;
+    hw::GprsModem modem{simulation, power, util::Rng{5}, gprs_config};
+    modem.power_on();
+    proto::TransferManagerConfig manager_config;
+    manager_config.chunk_resume = chunk_resume;
+    proto::TransferManager manager{manager_config};
+    manager.enqueue("merged_gps_file", util::mib(6.0));  // ~2.8 h at 5000 bps
+    int windows = 0;
+    while (!manager.empty() && windows < 10) {
+      (void)manager.run_window(modem, sim::hours(2));
+      ++windows;
+    }
+    std::printf("  %-28s -> %s\n",
+                chunk_resume ? "chunk-resume (fix)" : "deployed (file-level)",
+                manager.empty()
+                    ? ("delivered in " + std::to_string(windows) + " windows")
+                          .c_str()
+                    : "NO PROGRESS after 10 windows (livelock, Sec VI)");
+  }
+}
+
+void hung_transfer() {
+  bench::subheading("5. hung transfer vs battery (the watchdog's job)");
+  for (const bool with_watchdog : {true, false}) {
+    sim::Simulation simulation{sim::at_midnight(2009, 9, 22)};
+    env::Environment environment{5};
+    station::SouthamptonServer server;
+    station::StationConfig config;
+    config.name = "reference";
+    config.role = station::StationRole::kReferenceStation;
+    config.power.battery.initial_soc = 0.6;
+    config.gprs.hang_per_session = 1.0;  // every session wedges
+    if (!with_watchdog) config.watchdog_limit = sim::days(30);
+    station::Station s{simulation, environment, server, util::Rng{9},
+                       config};
+    s.start();
+    simulation.run_until(simulation.now() + sim::days(2));
+    std::printf(
+        "  %-18s gumstix uptime %6.1f h, battery SoC %4.0f%%, brown-outs %d\n",
+        with_watchdog ? "2h watchdog:" : "no watchdog:",
+        s.board().gumstix().uptime().to_hours(),
+        100.0 * s.power().battery().soc(), s.stats().brown_outs);
+  }
+  bench::note(
+      "paper (Sec VI): without the 2-hour limit a hung SCP leaves the "
+      "system running \"until its batteries are depleted\"");
+}
+
+void run() {
+  bench::heading("Sec VI: watchdog, backlogs, livelock");
+  capacity_arithmetic();
+  fetch_backlog_drain();
+  gprs_backlog_drain();
+  livelock();
+  hung_transfer();
+}
+
+}  // namespace
+}  // namespace gw
+
+int main() {
+  gw::run();
+  return 0;
+}

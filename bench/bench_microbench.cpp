@@ -1,0 +1,102 @@
+// Micro-benchmarks (google-benchmark) for the library's hot kernels: the
+// event queue that drives multi-year simulations, the MD5 used by the
+// update pipeline, CRC32 framing checks, the battery integrator, and a full
+// NACK protocol session. These measure the *implementation*, not the paper;
+// they exist so performance regressions in the substrate are visible.
+#include <benchmark/benchmark.h>
+
+#include "env/environment.h"
+#include "power/battery.h"
+#include "proto/bulk_transfer.h"
+#include "sim/simulation.h"
+#include "station/deployment.h"
+#include "util/crc32.h"
+#include "util/md5.h"
+
+namespace gw {
+namespace {
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation simulation;
+    for (int i = 0; i < int(state.range(0)); ++i) {
+      simulation.schedule_at(sim::SimTime{(i * 7919) % 100000}, [] {});
+    }
+    simulation.run_all();
+    benchmark::DoNotOptimize(simulation.events_executed());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1000)->Arg(10000);
+
+void BM_Md5Throughput(benchmark::State& state) {
+  const std::string payload(std::size_t(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::Md5::digest(payload));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Md5Throughput)->Arg(4096)->Arg(165 * 1024);
+
+void BM_Crc32Throughput(benchmark::State& state) {
+  const std::string payload(std::size_t(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::crc32(payload));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Crc32Throughput)->Arg(64)->Arg(165 * 1024);
+
+void BM_BatteryTick(benchmark::State& state) {
+  power::BatteryConfig config;
+  power::LeadAcidBattery battery{config};
+  for (auto _ : state) {
+    battery.step(util::Amps{0.5}, util::Amps{0.3}, 1.0 / 60.0,
+                 util::Celsius{-5.0});
+    benchmark::DoNotOptimize(battery.soc());
+    if (battery.empty()) battery.set_soc(0.9);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BatteryTick);
+
+void BM_NackSession(benchmark::State& state) {
+  for (auto _ : state) {
+    env::TemperatureModel temperature{env::TemperatureConfig{},
+                                      util::Rng{1}};
+    env::MeltModel melt{env::MeltConfig{}, util::Rng{2}};
+    proto::ProbeLink link{melt, temperature, util::Rng{3}};
+    proto::ProbeStore store;
+    for (std::uint32_t seq = 0; seq < std::uint32_t(state.range(0)); ++seq) {
+      proto::ProbeReading reading;
+      reading.seq = seq;
+      store.add(reading);
+    }
+    proto::NackBulkTransfer protocol{link};
+    const auto stats = protocol.run(store, sim::at_midnight(2009, 7, 20),
+                                    sim::hours(12));
+    benchmark::DoNotOptimize(stats.delivered);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_NackSession)->Arg(3000);
+
+void BM_DeploymentDay(benchmark::State& state) {
+  // Cost of simulating one full two-station deployment day.
+  for (auto _ : state) {
+    state.PauseTiming();
+    station::DeploymentConfig config;
+    config.trace_enabled = false;
+    station::Deployment deployment{config};
+    state.ResumeTiming();
+    deployment.run_days(1.0);
+    benchmark::DoNotOptimize(deployment.base().stats().runs_completed);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DeploymentDay)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace gw
+
+BENCHMARK_MAIN();

@@ -1,0 +1,102 @@
+// §V — probe longevity: "The probes deployed in the summer of 2008 survived
+// longer than previous generations (4/7 after one year, with fewer
+// vanishing offline and data is being produced by two after 18 months under
+// the ice)."
+//
+// Monte-Carlo over the probe wear-out model (Weibull shape 2, scale 488 d,
+// fitted to exactly those two points) — expected survivors out of 7 at one
+// year and 18 months, plus the survival curve and the distribution of
+// survivor counts across hypothetical deployments.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_util.h"
+#include "station/probe_node.h"
+#include "util/strings.h"
+
+namespace gw {
+namespace {
+
+void run() {
+  bench::heading("Sec V: probe survival (7 deployed, summer 2008)");
+
+  constexpr int kTrials = 2000;
+  constexpr int kProbesPerTrial = 7;
+  int survivors_1y[kProbesPerTrial + 1] = {};
+  int survivors_18m[kProbesPerTrial + 1] = {};
+  double mean_1y = 0.0;
+  double mean_18m = 0.0;
+  // Survival curve samples.
+  const int curve_days[] = {90, 180, 270, 365, 455, 547, 640, 730};
+  double curve_alive[std::size(curve_days)] = {};
+
+  for (int trial = 0; trial < kTrials; ++trial) {
+    sim::Simulation simulation{sim::at_midnight(2008, 9, 1)};
+    env::Environment environment{7};
+    std::vector<std::unique_ptr<station::ProbeNode>> probes;
+    for (int i = 0; i < kProbesPerTrial; ++i) {
+      station::ProbeNodeConfig config;
+      config.probe_id = 20 + i;
+      config.sample_interval = sim::days(3650);  // no samples: fast run
+      probes.push_back(std::make_unique<station::ProbeNode>(
+          simulation, environment,
+          util::Rng{std::uint64_t(trial) * 31 + std::uint64_t(i)}, config));
+    }
+    int alive_1y = 0;
+    int alive_18m = 0;
+    std::size_t curve_index = 0;
+    for (std::size_t c = 0; c < std::size(curve_days); ++c) {
+      simulation.run_until(sim::at_midnight(2008, 9, 1) +
+                           sim::days(curve_days[c]));
+      int alive = 0;
+      for (const auto& probe : probes) {
+        if (probe->alive()) ++alive;
+      }
+      curve_alive[c] += alive;
+      if (curve_days[c] == 365) alive_1y = alive;
+      if (curve_days[c] == 547) alive_18m = alive;
+      (void)curve_index;
+    }
+    ++survivors_1y[alive_1y];
+    ++survivors_18m[alive_18m];
+    mean_1y += alive_1y;
+    mean_18m += alive_18m;
+  }
+
+  bench::subheading("expected survivors out of 7");
+  bench::paper_vs_measured(
+      "alive after 1 year", "4/7",
+      util::format_fixed(mean_1y / kTrials, 2) + "/7 (mean over " +
+          std::to_string(kTrials) + " deployments)");
+  bench::paper_vs_measured(
+      "alive after 18 months", "2/7",
+      util::format_fixed(mean_18m / kTrials, 2) + "/7");
+
+  bench::subheading("survival curve (fraction of probes alive)");
+  bench::row({"Day", "Alive fraction"}, {6, 14});
+  for (std::size_t c = 0; c < std::size(curve_days); ++c) {
+    bench::row({std::to_string(curve_days[c]),
+                util::format_fixed(
+                    curve_alive[c] / double(kTrials * kProbesPerTrial), 3)},
+               {6, 14});
+  }
+
+  bench::subheading("distribution of 1-year survivor counts");
+  for (int k = 0; k <= kProbesPerTrial; ++k) {
+    const double fraction = survivors_1y[k] / double(kTrials);
+    std::string bar(std::size_t(fraction * 60.0), '#');
+    std::printf("  %d/7: %5.1f%% %s\n", k, 100.0 * fraction, bar.c_str());
+  }
+  bench::note(
+      "the paper's 4/7 at one year sits near the mode of the fitted model; "
+      "2 at 18 months matches the wear-out tail");
+}
+
+}  // namespace
+}  // namespace gw
+
+int main() {
+  gw::run();
+  return 0;
+}

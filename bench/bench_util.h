@@ -1,0 +1,45 @@
+// Shared formatting helpers for the reproduction benches. Each bench binary
+// regenerates one table/figure/claim from the paper and prints it in a form
+// directly comparable with the original (see EXPERIMENTS.md).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/strings.h"
+
+namespace gw::bench {
+
+inline void heading(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void subheading(const std::string& title) {
+  std::printf("\n--- %s ---\n", title.c_str());
+}
+
+// Prints a fixed-width row from already-formatted cells.
+inline void row(const std::vector<std::string>& cells,
+                const std::vector<int>& widths) {
+  std::string line;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const auto width = std::size_t(i < widths.size() ? widths[i] : 12);
+    line += gw::util::pad_right(cells[i], width);
+    line += "  ";
+  }
+  std::printf("%s\n", line.c_str());
+}
+
+inline void note(const std::string& text) {
+  std::printf("  %s\n", text.c_str());
+}
+
+inline void paper_vs_measured(const std::string& what,
+                              const std::string& paper,
+                              const std::string& measured) {
+  std::printf("  %-46s paper: %-18s measured: %s\n", what.c_str(),
+              paper.c_str(), measured.c_str());
+}
+
+}  // namespace gw::bench

@@ -1,0 +1,78 @@
+// Probe data recovery after months offline — the §V war story.
+//
+// "there were lessons to be learnt about base station design due to the
+// large quantity of data they transmitted after months offline. This was
+// due to the base station being damaged by deep snow ... With 3000 readings
+// being sent in the summer, across the weakest link (due to summer water)
+// 400 missed packets were common. Fetching that many individual readings
+// was never considered in the testing phase and the process could fail.
+// Fortunately the task was not marked as complete in the probes; so many
+// missing readings were obtained in subsequent days."
+//
+// This example replays that episode end to end: a probe accumulates a
+// 125-day backlog while the base station is down, then the repaired station
+// fetches it across successive summer windows — first with the deployed
+// firmware's individual-fetch limit, then with the fixed firmware.
+#include <cstdio>
+
+#include "proto/bulk_transfer.h"
+#include "station/probe_node.h"
+
+namespace {
+
+void replay(bool deployed_firmware) {
+  using namespace gw;
+  sim::Simulation simulation{sim::at_midnight(2009, 3, 1)};
+  env::Environment environment{2009};
+
+  station::ProbeNodeConfig probe_config;
+  probe_config.probe_id = 21;
+  probe_config.weibull_scale_days = 5000.0;  // survives the episode
+  station::ProbeNode probe{simulation, environment, util::Rng{21},
+                           probe_config};
+
+  // The base station is buried by deep snow from March to early July:
+  // the probe keeps sampling hourly into its store.
+  simulation.run_until(sim::at_midnight(2009, 7, 4));
+  std::printf("\n%s firmware:\n",
+              deployed_firmware ? "DEPLOYED (individual-fetch limit)"
+                                : "FIXED (no limit)");
+  std::printf("  backlog after the outage: %zu readings\n",
+              probe.store().pending_count());
+
+  proto::NackConfig protocol_config;
+  if (deployed_firmware) protocol_config.legacy_individual_limit = 100;
+  proto::NackBulkTransfer protocol{probe.link(), protocol_config};
+
+  int day = 0;
+  std::size_t total = 0;
+  while (probe.store().pending_count() > 30 && day < 14) {
+    const auto window = simulation.now() + sim::hours(12);
+    const auto stats =
+        protocol.run(probe.store(), window, sim::minutes(30));
+    total += stats.delivered;
+    std::printf(
+        "  window %2d: streamed, %4zu missed%s; delivered %4zu "
+        "(%5.1f min airtime), pending %5zu\n",
+        day + 1, stats.missing_after_stream,
+        stats.aborted ? " [individual fetch FAILED as in Sec V]" : "",
+        stats.delivered, stats.airtime.to_minutes(),
+        probe.store().pending_count());
+    simulation.run_until(simulation.now() + sim::days(1));
+    ++day;
+  }
+  std::printf("  => %zu readings recovered over %d daily windows; "
+              "nothing lost (task-completion semantics)\n",
+              total, day);
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Sec V replay: bulk fetch after the base station spent spring buried "
+      "in snow\n");
+  replay(/*deployed_firmware=*/true);
+  replay(/*deployed_firmware=*/false);
+  return 0;
+}

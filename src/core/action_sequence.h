@@ -1,0 +1,124 @@
+// Sequential, abortable, time-consuming step runner.
+//
+// The daily run (Fig 4) is a chain of steps — query probes, drain the MSP,
+// compute state, fetch GPS files, upload, fetch override, run the special —
+// each of which *takes time* and can be cut short by the watchdog. A step
+// is a chunk function invoked repeatedly: every call does a unit of work
+// (one probe session, one file fetch, one upload) and returns the simulated
+// time it consumed, or nullopt when the step is finished. Chunking is what
+// lets the 2-hour cut land *between* files, so backlogs drain file by file
+// across days (§VI) instead of losing a whole window's progress.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/simulation.h"
+
+namespace gw::core {
+
+class ActionSequence {
+ public:
+  // Chunk: does one unit of work now; returns time consumed, or nullopt if
+  // the step has nothing (more) to do.
+  using Chunk = std::function<std::optional<sim::Duration>()>;
+
+  explicit ActionSequence(sim::Simulation& simulation)
+      : simulation_(simulation) {}
+
+  ActionSequence& add_step(std::string name, Chunk chunk) {
+    steps_.push_back(Step{std::move(name), std::move(chunk)});
+    return *this;
+  }
+
+  // Convenience: a fixed-duration step that runs `action` then sleeps `d`.
+  ActionSequence& add_fixed(std::string name, sim::Duration d,
+                            std::function<void()> action = {}) {
+    bool done = false;
+    return add_step(std::move(name),
+                    [d, done, action = std::move(action)]() mutable
+                    -> std::optional<sim::Duration> {
+                      if (done) return std::nullopt;
+                      done = true;
+                      if (action) action();
+                      return d;
+                    });
+  }
+
+  // Starts the sequence; `on_done(aborted)` fires when the last step
+  // finishes or after abort(). A sequence can only run once.
+  void run(std::function<void(bool aborted)> on_done) {
+    on_done_ = std::move(on_done);
+    running_ = true;
+    advance();
+  }
+
+  // Hard stop (watchdog expiry / brown-out): nothing further runs; the
+  // in-flight chunk's time was already spent.
+  void abort() {
+    if (!running_) return;
+    running_ = false;
+    if (pending_.has_value()) {
+      simulation_.cancel(*pending_);
+      pending_.reset();
+    }
+    aborted_ = true;
+    finish();
+  }
+
+  [[nodiscard]] bool running() const { return running_; }
+  [[nodiscard]] bool aborted() const { return aborted_; }
+  [[nodiscard]] const std::string& current_step() const {
+    static const std::string kNone = "(idle)";
+    return index_ < steps_.size() ? steps_[index_].name : kNone;
+  }
+
+  // Names of steps that fully completed (for the Fig 4 trace bench).
+  [[nodiscard]] const std::vector<std::string>& completed_steps() const {
+    return completed_;
+  }
+
+ private:
+  struct Step {
+    std::string name;
+    Chunk chunk;
+  };
+
+  void advance() {
+    if (!running_) return;
+    pending_.reset();
+    while (index_ < steps_.size()) {
+      const auto duration = steps_[index_].chunk();
+      if (!duration.has_value()) {
+        completed_.push_back(steps_[index_].name);
+        ++index_;
+        continue;
+      }
+      pending_ = simulation_.schedule_in(*duration, [this] { advance(); });
+      return;
+    }
+    running_ = false;
+    finish();
+  }
+
+  void finish() {
+    if (on_done_) {
+      auto fn = std::move(on_done_);
+      on_done_ = nullptr;
+      fn(aborted_);
+    }
+  }
+
+  sim::Simulation& simulation_;
+  std::vector<Step> steps_;
+  std::size_t index_ = 0;
+  bool running_ = false;
+  bool aborted_ = false;
+  std::optional<sim::EventId> pending_;
+  std::function<void(bool)> on_done_;
+  std::vector<std::string> completed_;
+};
+
+}  // namespace gw::core

@@ -1,0 +1,116 @@
+// Automatic schedule resetting after total power loss (§IV).
+//
+// External charging means a flat battery can come back — but it wakes with
+// a RAM schedule gone and an RTC reading 01/01/1970. Detection: the station
+// persists the last time it successfully ran (on the CF card, which is
+// non-volatile); if the RTC now reads *before* that, the clock cannot be
+// trusted. Repair: power the GPS and take a time fix; "if the system cannot
+// set the time using GPS then the system will sleep for a day and try
+// again." §IV also sketches the extension implemented here behind a flag:
+// fall back to NTP over the GPRS link. Once the clock is right the station
+// rewrites the wake schedule and restarts in state 0.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "hw/dgps.h"
+#include "hw/msp430.h"
+#include "sim/simulation.h"
+#include "util/rng.h"
+
+namespace gw::core {
+
+struct RecoveryConfig {
+  bool ntp_fallback = false;          // §IV future work, implemented
+  double ntp_success = 0.85;          // GPRS registration + NTP reachability
+  sim::Duration ntp_time = sim::seconds(70);
+  sim::Duration retry_interval = sim::days(1);  // "sleep for a day"
+};
+
+enum class RecoveryOutcome {
+  kClockTrusted,   // nothing to do
+  kResyncedByGps,
+  kResyncedByNtp,  // extension path
+  kDeferred,       // no fix; sleeping a day before retrying
+};
+
+class RecoveryManager {
+ public:
+  RecoveryManager(sim::Simulation& simulation, hw::Msp430& msp,
+                  hw::DgpsReceiver& dgps, util::Rng rng,
+                  RecoveryConfig config = {})
+      : simulation_(simulation),
+        msp_(msp),
+        dgps_(dgps),
+        config_(config),
+        rng_(rng) {}
+
+  // Persists "the last time that it successfully ran" — written to the CF
+  // card at the end of each good daily run, so it survives brown-outs.
+  // Stored as the RTC's reading, which is all the station has.
+  void record_successful_run() { last_successful_run_ = msp_.rtc_now(); }
+
+  [[nodiscard]] std::optional<sim::SimTime> last_successful_run() const {
+    return last_successful_run_;
+  }
+
+  // §IV detection: "checks that its current time is before the last time
+  // the system ran; if that fails it knows that the RTC is not to be
+  // trusted."
+  [[nodiscard]] bool rtc_untrusted() const {
+    return last_successful_run_.has_value() &&
+           msp_.rtc_now() < *last_successful_run_;
+  }
+
+  // One recovery attempt (the cold-boot path). Consumes device time
+  // directly via the dGPS fix-acquisition model; the caller runs it inside
+  // a daily-run step. On kDeferred the caller sleeps retry_interval.
+  RecoveryOutcome attempt() {
+    ++attempts_;
+    if (!rtc_untrusted()) return RecoveryOutcome::kClockTrusted;
+
+    // GPS first (§IV): power it just for the fix.
+    const bool was_powered = dgps_.powered();
+    if (!was_powered) dgps_.power_on();
+    const auto fix = dgps_.time_fix();
+    if (!was_powered) dgps_.power_off();
+    if (fix.ok()) {
+      msp_.set_rtc(fix.value());
+      ++gps_resyncs_;
+      return RecoveryOutcome::kResyncedByGps;
+    }
+
+    // Extension: NTP over GPRS (§IV "in the future this could also be
+    // extended to fall back to getting the time using the GPRS link").
+    if (config_.ntp_fallback && rng_.bernoulli(config_.ntp_success)) {
+      // NTP disciplines to within protocol error; exact for our purposes.
+      msp_.set_rtc(simulation_.now() + config_.ntp_time);
+      ++ntp_resyncs_;
+      return RecoveryOutcome::kResyncedByNtp;
+    }
+
+    ++deferrals_;
+    return RecoveryOutcome::kDeferred;
+  }
+
+  [[nodiscard]] const RecoveryConfig& config() const { return config_; }
+  [[nodiscard]] int attempts() const { return attempts_; }
+  [[nodiscard]] int gps_resyncs() const { return gps_resyncs_; }
+  [[nodiscard]] int ntp_resyncs() const { return ntp_resyncs_; }
+  [[nodiscard]] int deferrals() const { return deferrals_; }
+
+ private:
+  sim::Simulation& simulation_;
+  hw::Msp430& msp_;
+  hw::DgpsReceiver& dgps_;
+  RecoveryConfig config_;
+  util::Rng rng_;
+  std::optional<sim::SimTime> last_successful_run_;
+  int attempts_ = 0;
+  int gps_resyncs_ = 0;
+  int ntp_resyncs_ = 0;
+  int deferrals_ = 0;
+};
+
+}  // namespace gw::core

@@ -1,0 +1,107 @@
+// The MSP430's RAM-resident day schedule, as a first-class type.
+//
+// §IV: "the schedule for the microprocessor is stored in RAM so will need
+// to be re-written" after exhaustion. This is that object: the daily comms
+// window, the dGPS reading slots implied by the power state (Table 2), and
+// the sensor sampling cadence — serialisable to the compact image the
+// Gumstix writes into the microcontroller, and parseable back with CRC
+// protection (a corrupted image must be detected, not executed).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/power_policy.h"
+#include "sim/time.h"
+#include "util/crc32.h"
+#include "util/result.h"
+
+namespace gw::core {
+
+struct DaySchedule {
+  sim::Duration wake_time = sim::hours(12);      // daily window (§I)
+  sim::Duration sample_interval = sim::minutes(30);
+  // Offsets from the wake at which the MSP powers the dGPS (Table 2's
+  // 12-per-day state gives the Fig 5 two-hour rhythm).
+  std::vector<sim::Duration> gps_slots;
+
+  // The schedule a given power state implies.
+  [[nodiscard]] static DaySchedule for_state(
+      PowerState state, sim::Duration wake_time = sim::hours(12)) {
+    DaySchedule schedule;
+    schedule.wake_time = wake_time;
+    const int per_day = PowerPolicy::actions_for(state).gps_readings_per_day;
+    for (int k = 1; k <= per_day; ++k) {
+      schedule.gps_slots.push_back(sim::hours(24.0 / per_day) * k);
+    }
+    return schedule;
+  }
+
+  friend bool operator==(const DaySchedule&, const DaySchedule&) = default;
+
+  // --- MSP RAM image ------------------------------------------------------
+  //
+  // [ 'G' 'S' version=1 ] [wake_min u16] [sample_min u16] [n u8]
+  // [slot_min u16] * n  [crc32 u32 over everything before it]
+  // All little-endian; minutes resolution matches the MSP timer grid.
+
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const {
+    std::vector<std::uint8_t> image;
+    image.push_back('G');
+    image.push_back('S');
+    image.push_back(1);
+    push_u16(image, std::uint16_t(wake_time.to_minutes()));
+    push_u16(image, std::uint16_t(sample_interval.to_minutes()));
+    image.push_back(std::uint8_t(gps_slots.size()));
+    for (const auto& slot : gps_slots) {
+      push_u16(image, std::uint16_t(slot.to_minutes()));
+    }
+    const std::uint32_t crc = util::crc32(
+        std::span<const std::uint8_t>(image.data(), image.size()));
+    for (int b = 0; b < 4; ++b) {
+      image.push_back(std::uint8_t((crc >> (8 * b)) & 0xff));
+    }
+    return image;
+  }
+
+  [[nodiscard]] static util::Result<DaySchedule> parse(
+      std::span<const std::uint8_t> image) {
+    if (image.size() < 12) return util::make_error("schedule: truncated");
+    const std::size_t body = image.size() - 4;
+    std::uint32_t stored = 0;
+    for (int b = 0; b < 4; ++b) {
+      stored |= std::uint32_t(image[body + std::size_t(b)]) << (8 * b);
+    }
+    if (util::crc32(image.subspan(0, body)) != stored) {
+      return util::make_error("schedule: crc mismatch");
+    }
+    if (image[0] != 'G' || image[1] != 'S' || image[2] != 1) {
+      return util::make_error("schedule: bad magic/version");
+    }
+    DaySchedule schedule;
+    schedule.wake_time = sim::minutes(read_u16(image, 3));
+    schedule.sample_interval = sim::minutes(read_u16(image, 5));
+    const std::size_t n = image[7];
+    if (image.size() != 8 + 2 * n + 4) {
+      return util::make_error("schedule: slot count mismatch");
+    }
+    for (std::size_t k = 0; k < n; ++k) {
+      schedule.gps_slots.push_back(
+          sim::minutes(read_u16(image, 8 + 2 * k)));
+    }
+    return schedule;
+  }
+
+ private:
+  static void push_u16(std::vector<std::uint8_t>& image, std::uint16_t v) {
+    image.push_back(std::uint8_t(v & 0xff));
+    image.push_back(std::uint8_t(v >> 8));
+  }
+  static std::uint16_t read_u16(std::span<const std::uint8_t> image,
+                                std::size_t at) {
+    return std::uint16_t(image[at] | (std::uint16_t(image[at + 1]) << 8));
+  }
+};
+
+}  // namespace gw::core

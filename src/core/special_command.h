@@ -1,0 +1,37 @@
+// "Special" remote command scripts (§V-§VI).
+//
+// Southampton can queue a shell script per station; the daily run downloads
+// and executes it ("Get special / Special exists / Execute", Fig 4). Two
+// deployed lessons are encoded here:
+//   * the script's output lands in the normal logfile, which is only
+//     uploaded with the *next* day's data — so results reach Southampton
+//     ~24 h after execution and a follow-up decision takes ~48 h (§VI);
+//   * Fig 4 executes the special *after* the upload, which combined with
+//     the 2-hour watchdog means a special can be starved by a big backlog;
+//     §VI suggests running remote code *before* the transfer. Stations
+//     expose that ordering as a config flag.
+#pragma once
+
+#include <string>
+
+#include "sim/time.h"
+#include "util/units.h"
+
+namespace gw::core {
+
+struct SpecialCommand {
+  std::string id;
+  std::string script;
+  sim::Duration runtime = sim::seconds(30);
+  util::Bytes output_size = util::Bytes{2048};  // lands in the logfile
+};
+
+struct SpecialExecution {
+  std::string id;
+  sim::SimTime executed_at{};
+  // When the output (inside the daily log upload) becomes visible in
+  // Southampton — the §VI latency observation.
+  sim::SimTime results_visible_at{};
+};
+
+}  // namespace gw::core

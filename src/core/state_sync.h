@@ -1,0 +1,80 @@
+// Server-mediated power-state synchronisation (§III).
+//
+// The dGPS needs *both* stations recording on the same schedule, but the
+// dual-GPRS architecture removed the inter-station link. The fix: each
+// station uploads its local state daily; when a station later asks for its
+// override, the server "looks up both the existing states from the stations
+// and returns the lowest one" (optionally floored further by a manual
+// override from Southampton). Station-side safety clamps then apply:
+//   * never above what the battery voltage allows;
+//   * never forced into state 0 (a state with no communications could
+//     otherwise be made permanent from afar);
+//   * if the fetch fails, just run the local state (§III).
+//
+// SyncRules is the pure logic; SyncServer is the Southampton ledger. The
+// upload/download split across the daily run (upload *before* fetching the
+// override) gives same-day convergence only when the stations' window skew
+// is smaller than the upload duration — otherwise a one-day lag (§III),
+// which bench_sync_lag sweeps.
+#pragma once
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "core/power_policy.h"
+
+namespace gw::core {
+
+struct SyncRules {
+  // Station-side clamp combining the voltage-derived state with the
+  // server's override (if any).
+  [[nodiscard]] static PowerState apply(
+      PowerState voltage_allowed, std::optional<PowerState> server_override) {
+    if (!server_override.has_value()) return voltage_allowed;  // fetch failed
+    // A remote command can lower the state but never below 1 (§III): the
+    // station must keep communicating so the override can be undone.
+    const PowerState floor_protected =
+        std::max(*server_override, PowerState::kState1);
+    return std::min(voltage_allowed, floor_protected);
+  }
+};
+
+// Southampton's ledger: latest reported state per station + manual override.
+class SyncServer {
+ public:
+  void report_state(const std::string& station, PowerState state) {
+    latest_[station] = state;
+  }
+
+  // Operator intervention ("easy manual overriding of the power states if
+  // required", §III). nullopt clears it.
+  void set_manual_override(std::optional<PowerState> override_state) {
+    manual_override_ = override_state;
+  }
+
+  // The override returned to any asking station: the minimum over every
+  // reported state and the manual override. Before any reports exist there
+  // is nothing to say.
+  [[nodiscard]] std::optional<PowerState> override_for_client() const {
+    std::optional<PowerState> lowest = manual_override_;
+    for (const auto& [station, state] : latest_) {
+      if (!lowest.has_value() || state < *lowest) lowest = state;
+    }
+    return lowest;
+  }
+
+  [[nodiscard]] std::optional<PowerState> reported_state(
+      const std::string& station) const {
+    const auto it = latest_.find(station);
+    if (it == latest_.end()) return std::nullopt;
+    return it->second;
+  }
+
+ private:
+  std::map<std::string, PowerState> latest_;
+  std::optional<PowerState> manual_override_;
+};
+
+}  // namespace gw::core

@@ -1,0 +1,91 @@
+// Checksummed remote code update (§VI).
+//
+// Field stations are unreachable for months, so every code change is
+// lab-verified, shipped over GPRS, and *verified on arrival*: "scripts on
+// the system ... automatically download the program, calculate a checksum
+// and if it is correct replace the old file with the new one." The computed
+// MD5 is immediately beaconed back with an HTTP GET (the deployed wget
+// lacked POST), so Southampton learns the outcome without waiting the 24 h
+// log round-trip. The transfer-corruption probability models the lossy GPRS
+// path; a mismatch leaves the old version installed.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/md5.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace gw::core {
+
+struct UpdatePackage {
+  std::string name;      // e.g. "basestation.py"
+  std::string payload;   // file contents
+  std::string expected_md5;  // computed in Southampton before sending
+};
+
+struct UpdateBeacon {
+  std::string name;
+  std::string md5;      // as calculated on the station
+  bool verified = false;
+  // Rendered as the HTTP GET the station issues (§VI).
+  [[nodiscard]] std::string http_get() const {
+    return "GET /update_result?file=" + name + "&md5=" + md5 +
+           "&ok=" + (verified ? "1" : "0");
+  }
+};
+
+struct UpdateManagerConfig {
+  double transfer_corruption = 0.03;  // per-download bit-damage probability
+};
+
+class UpdateManager {
+ public:
+  UpdateManager(util::Rng rng, UpdateManagerConfig config = {})
+      : config_(config), rng_(rng) {}
+
+  // Downloads + verifies + (maybe) installs. Returns the beacon to upload.
+  UpdateBeacon apply(const UpdatePackage& package) {
+    ++downloads_;
+    std::string received = package.payload;
+    if (rng_.bernoulli(config_.transfer_corruption) && !received.empty()) {
+      // Flip one byte somewhere in the body.
+      const auto index = rng_.uniform_index(received.size());
+      received[index] = char(received[index] ^ 0x20);
+    }
+    UpdateBeacon beacon;
+    beacon.name = package.name;
+    beacon.md5 = util::Md5::hex_digest(received);
+    beacon.verified = beacon.md5 == package.expected_md5;
+    if (beacon.verified) {
+      installed_[package.name] = received;
+      ++installs_;
+    } else {
+      ++rejections_;  // old file stays in place
+    }
+    return beacon;
+  }
+
+  [[nodiscard]] bool has(const std::string& name) const {
+    return installed_.contains(name);
+  }
+  [[nodiscard]] const std::string& installed(const std::string& name) const {
+    return installed_.at(name);
+  }
+
+  [[nodiscard]] int downloads() const { return downloads_; }
+  [[nodiscard]] int installs() const { return installs_; }
+  [[nodiscard]] int rejections() const { return rejections_; }
+
+ private:
+  UpdateManagerConfig config_;
+  util::Rng rng_;
+  std::map<std::string, std::string> installed_;
+  int downloads_ = 0;
+  int installs_ = 0;
+  int rejections_ = 0;
+};
+
+}  // namespace gw::core

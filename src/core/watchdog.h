@@ -1,0 +1,68 @@
+// The two-hour safety watchdog (§VI).
+//
+// "This safety mechanism prevents the system from running for more than two
+// hours at a time ... if something crashes in the system — for example a
+// SCP transfer hangs — the system does not remain running until its
+// batteries are depleted." The MSP430 arms it when it powers the Gumstix;
+// expiry cuts power no matter what the Linux side is doing. The same
+// mechanism is what truncates oversized backlogs (§VI), so the expiry count
+// is an observable the benches report.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "sim/simulation.h"
+
+namespace gw::core {
+
+class Watchdog {
+ public:
+  explicit Watchdog(sim::Simulation& simulation,
+                    sim::Duration limit = sim::hours(2))
+      : simulation_(simulation), limit_(limit) {}
+
+  // Arms (or re-arms) the timer; on expiry runs `on_expire` exactly once.
+  void arm(std::function<void()> on_expire) {
+    disarm();
+    expired_ = false;
+    deadline_ = simulation_.now() + limit_;
+    pending_ = simulation_.schedule_in(limit_, [this,
+                                                fn = std::move(on_expire)] {
+      pending_.reset();
+      expired_ = true;
+      ++expiry_count_;
+      fn();
+    });
+  }
+
+  // Normal shutdown path: the run finished inside the window.
+  void disarm() {
+    if (pending_.has_value()) {
+      simulation_.cancel(*pending_);
+      pending_.reset();
+    }
+  }
+
+  [[nodiscard]] bool armed() const { return pending_.has_value(); }
+  [[nodiscard]] bool expired() const { return expired_; }
+  [[nodiscard]] int expiry_count() const { return expiry_count_; }
+  [[nodiscard]] sim::Duration limit() const { return limit_; }
+
+  // Time left before the cut — the daily run checks this before starting
+  // another file fetch or upload chunk.
+  [[nodiscard]] sim::Duration remaining() const {
+    if (!pending_.has_value()) return sim::Duration{0};
+    return deadline_ - simulation_.now();
+  }
+
+ private:
+  sim::Simulation& simulation_;
+  sim::Duration limit_;
+  std::optional<sim::EventId> pending_;
+  sim::SimTime deadline_{};
+  bool expired_ = false;
+  int expiry_count_ = 0;
+};
+
+}  // namespace gw::core

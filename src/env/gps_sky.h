@@ -1,0 +1,87 @@
+// GPS constellation visibility.
+//
+// §III: "each dGPS reading is approximately 165KB, although the exact size
+// varies depending on the number of satellites available at the time of the
+// reading." The visible-satellite count at a fixed site oscillates with the
+// constellation's ~11 h 58 min orbital period (half a sidereal day) around
+// a mean of ~9-10 for an open-sky site; an ice cap has excellent horizons.
+// The model produces a smooth, deterministic count (two incommensurate
+// harmonics + per-hour jitter) that drives dGPS file size, fix probability
+// and fix time.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "sim/time.h"
+#include "util/rng.h"
+
+namespace gw::env {
+
+struct GpsSkyConfig {
+  double mean_visible = 9.5;
+  double orbital_amplitude = 1.8;   // main constellation-geometry swing
+  double secondary_amplitude = 0.9; // beat against the second harmonic
+  double jitter = 0.7;              // masking, multipath, outages
+  int min_for_fix = 4;              // below this no position/time fix
+};
+
+class GpsSky {
+ public:
+  GpsSky(GpsSkyConfig config, util::Rng rng) : config_(config), rng_(rng) {}
+
+  // Visible satellites at time t (>= 0, typically 5-13).
+  [[nodiscard]] int visible(sim::SimTime t) {
+    // Half a sidereal day: the constellation geometry repeats every
+    // 11 h 57 m 58 s at a fixed site.
+    constexpr double kHalfSiderealHours = 11.9661;
+    const double hours =
+        double(t.millis_since_epoch()) / 3.6e6;
+    const double phase =
+        2.0 * std::numbers::pi * hours / kHalfSiderealHours;
+    const double smooth =
+        config_.mean_visible +
+        config_.orbital_amplitude * std::sin(phase) +
+        config_.secondary_amplitude * std::sin(2.71 * phase + 1.3);
+    refresh_jitter(t);
+    const double n = smooth + jitter_state_;
+    return std::max(0, int(std::lround(n)));
+  }
+
+  // Whether a position/time fix is possible right now.
+  [[nodiscard]] bool fix_possible(sim::SimTime t) {
+    return visible(t) >= config_.min_for_fix;
+  }
+
+  // Fix acquisition scales down as more satellites are in view.
+  [[nodiscard]] sim::Duration fix_time(sim::SimTime t) {
+    const int n = visible(t);
+    if (n < config_.min_for_fix) return sim::minutes(30);  // effectively no
+    const double seconds = 45.0 + 420.0 / double(n);
+    return sim::seconds(seconds);
+  }
+
+  // RINEX-style observation volume scales with tracked satellites: file
+  // size multiplier relative to the nominal (mean) sky.
+  [[nodiscard]] double file_size_factor(sim::SimTime t) {
+    return std::max(0.4, double(visible(t)) / config_.mean_visible);
+  }
+
+  [[nodiscard]] const GpsSkyConfig& config() const { return config_; }
+
+ private:
+  void refresh_jitter(sim::SimTime t) {
+    const std::int64_t hour = t.millis_since_epoch() / 3'600'000;
+    if (hour == jitter_hour_) return;
+    jitter_hour_ = hour;
+    jitter_state_ = rng_.normal(0.0, config_.jitter);
+  }
+
+  GpsSkyConfig config_;
+  util::Rng rng_;
+  std::int64_t jitter_hour_ = -1;
+  double jitter_state_ = 0.0;
+};
+
+}  // namespace gw::env

@@ -1,0 +1,57 @@
+#include "env/melt.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gw::env {
+
+MeltModel::MeltModel(MeltConfig config, util::Rng rng)
+    : config_(config), rng_(rng), index_(config.winter_floor) {}
+
+void MeltModel::advance_to(sim::SimTime t, TemperatureModel& temperature) {
+  const std::int64_t target_day = t.millis_since_epoch() / 86'400'000;
+  if (day_ < 0) {
+    day_ = target_day - 1;
+    // Initialise to the season: start from the floor in the cold half of
+    // the year, from a wet state in summer.
+    const int doy = sim::day_of_year(t);
+    index_ = (doy > 150 && doy < 270) ? 0.8 : config_.winter_floor;
+  }
+  while (day_ < target_day) {
+    ++day_;
+    // Surface melt is driven by the afternoon maximum, not the daily mean —
+    // spring afternoons cross 0°C weeks before the mean does, which is what
+    // puts the Fig 6 conductivity rise in April.
+    const sim::SimTime afternoon{day_ * 86'400'000 + 54'000'000};  // 15:00
+    const double temp_c = temperature.air(afternoon).value();
+    if (temp_c > 0.0) {
+      index_ += config_.degree_day_gain * temp_c;
+    }
+    index_ -= config_.decay_per_day * (index_ - config_.winter_floor);
+    index_ = std::clamp(index_, config_.winter_floor, 1.0);
+  }
+}
+
+double MeltModel::water_index(sim::SimTime t, TemperatureModel& temperature) {
+  advance_to(t, temperature);
+  return index_;
+}
+
+util::MicroSiemens MeltModel::conductivity(sim::SimTime t,
+                                           TemperatureModel& temperature,
+                                           double probe_base_us,
+                                           double probe_gain_us) {
+  const double w = water_index(t, temperature);
+  const double noise = rng_.normal(0.0, 0.15 + 0.4 * w);
+  return util::MicroSiemens{
+      std::max(0.0, probe_base_us + probe_gain_us * w + noise)};
+}
+
+double MeltModel::probe_link_loss(sim::SimTime t,
+                                  TemperatureModel& temperature) {
+  const double w = water_index(t, temperature);
+  return config_.winter_packet_loss +
+         (config_.summer_packet_loss - config_.winter_packet_loss) * w;
+}
+
+}  // namespace gw::env

@@ -1,0 +1,61 @@
+// Basal melt-water model.
+//
+// Two of the paper's observations hang off how much melt water reaches the
+// glacier bed:
+//   * Fig 6 — subglacial probe conductivity is flat through winter and
+//     rises sharply when spring melt reaches the bed;
+//   * §III/§V — probe radio works *better* in winter "due to the drier ice
+//     conditions"; in summer 3000 readings commonly lost ~400 packets.
+// The model integrates positive degree-days (with decay) into a water index
+// in [0, 1]; conductivity and probe-link loss are both functions of it.
+#pragma once
+
+#include "env/temperature.h"
+#include "sim/time.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace gw::env {
+
+struct MeltConfig {
+  double degree_day_gain = 0.035;  // index gain per positive degree-day
+  double decay_per_day = 0.04;     // drainage when input stops
+  double winter_floor = 0.03;      // residual basal water in deep winter
+  // Seasonal probe radio loss endpoints (calibrated to §V: ~400/3000 lost in
+  // summer; winter "better").
+  double winter_packet_loss = 0.02;
+  double summer_packet_loss = 0.133;
+};
+
+// Forward-only like SnowModel: sample in chronological order.
+class MeltModel {
+ public:
+  MeltModel(MeltConfig config, util::Rng rng);
+
+  // Basal water index in [0, 1]; advances internal integration to t.
+  [[nodiscard]] double water_index(sim::SimTime t,
+                                   TemperatureModel& temperature);
+
+  // Electrical conductivity seen by a probe. Probes differ in where they
+  // sit relative to drainage channels, expressed as (base, gain) pairs.
+  [[nodiscard]] util::MicroSiemens conductivity(sim::SimTime t,
+                                                TemperatureModel& temperature,
+                                                double probe_base_us,
+                                                double probe_gain_us);
+
+  // Packet-loss probability for the base-station <-> probe radio link.
+  [[nodiscard]] double probe_link_loss(sim::SimTime t,
+                                       TemperatureModel& temperature);
+
+  [[nodiscard]] const MeltConfig& config() const { return config_; }
+
+ private:
+  void advance_to(sim::SimTime t, TemperatureModel& temperature);
+
+  MeltConfig config_;
+  util::Rng rng_;
+  std::int64_t day_ = -1;
+  double index_ = 0.0;
+};
+
+}  // namespace gw::env

@@ -1,0 +1,66 @@
+// Snow accumulation and its operational consequences.
+//
+// Deep snow is a recurring antagonist in the paper: it buried and damaged
+// the base station, ruled out a directional antenna on the café, and makes
+// the wind turbine useless in an Icelandic winter. The model integrates
+// daily accumulation (when cold, with storm events) against temperature-
+// driven melt, and exposes derived factors: how much of the solar panel is
+// occluded, whether the turbine is buried, and a storm flag used by the
+// damage fault models.
+#pragma once
+
+#include "env/temperature.h"
+#include "sim/time.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace gw::env {
+
+// Calibrated for Vatnajökull's heavy maritime snowfall (§II: snow "would
+// even stop that [wind] source from being useful"; the base station was
+// "damaged by deep snow"): several metres accumulate over winter, the panel
+// goes dark mid-winter, the turbine is buried by early winter, and the pack
+// melts out by early summer.
+struct SnowConfig {
+  double storm_probability_per_day = 0.10;  // in the accumulation season
+  double storm_accumulation_m = 0.20;       // mean per storm event
+  double background_accumulation_m = 0.012;  // per cold day
+  double melt_rate_m_per_degree_day = 0.025;
+  double panel_burial_depth_m = 1.2;   // panel fully occluded beyond this
+  double turbine_burial_depth_m = 2.0;
+};
+
+// Forward-only: state integrates day by day from the first query onward, so
+// callers must sample in chronological order (querying an earlier time
+// returns the state already reached — exactly how a physical gauge behaves).
+class SnowModel {
+ public:
+  SnowModel(SnowConfig config, util::Rng rng);
+
+  // Advances internal state to the day containing t and returns snow depth.
+  [[nodiscard]] util::Metres depth(sim::SimTime t,
+                                   TemperatureModel& temperature);
+
+  // Fraction of solar panel output lost to snow cover, in [0, 1].
+  [[nodiscard]] double panel_occlusion(sim::SimTime t,
+                                       TemperatureModel& temperature);
+
+  [[nodiscard]] bool turbine_buried(sim::SimTime t,
+                                    TemperatureModel& temperature);
+
+  // True on days with an active storm event (drives structural damage
+  // faults in the station models).
+  [[nodiscard]] bool storm_today(sim::SimTime t,
+                                 TemperatureModel& temperature);
+
+ private:
+  void advance_to(sim::SimTime t, TemperatureModel& temperature);
+
+  SnowConfig config_;
+  util::Rng rng_;
+  std::int64_t day_ = -1;
+  double depth_m_ = 0.0;
+  bool storm_today_ = false;
+};
+
+}  // namespace gw::env

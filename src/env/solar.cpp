@@ -1,0 +1,71 @@
+#include "env/solar.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace gw::env {
+namespace {
+
+constexpr double kDegToRad = std::numbers::pi / 180.0;
+
+// Solar declination (degrees) for 1-based day of year (Cooper's equation).
+double declination_deg(int doy) {
+  return 23.44 * std::sin(2.0 * std::numbers::pi * (284.0 + doy) / 365.0);
+}
+
+}  // namespace
+
+SolarModel::SolarModel(SolarConfig config, util::Rng rng)
+    : config_(config), rng_(rng), cloud_state_(config.cloud_mean) {}
+
+double SolarModel::sin_elevation(sim::SimTime t) const {
+  const int doy = sim::day_of_year(t);
+  const double decl = declination_deg(doy) * kDegToRad;
+  const double lat = config_.latitude_deg * kDegToRad;
+  const double hour = sim::time_of_day(t).to_hours();
+  const double hour_angle = (hour - 12.0) * 15.0 * kDegToRad;
+  return std::sin(lat) * std::sin(decl) +
+         std::cos(lat) * std::cos(decl) * std::cos(hour_angle);
+}
+
+util::WattsPerSquareMetre SolarModel::irradiance(sim::SimTime t) {
+  const double sin_el = sin_elevation(t);
+  if (sin_el <= 0.0) return util::WattsPerSquareMetre{0.0};
+  // Simple air-mass attenuation: direct+diffuse scale roughly with sin(el)
+  // raised to a small extra power near the horizon.
+  const double clear = config_.clear_sky_peak * sin_el *
+                       std::pow(sin_el, 0.15);
+  return util::WattsPerSquareMetre{clear * cloud_factor(t)};
+}
+
+double SolarModel::daylight_hours(sim::SimTime t) const {
+  const int doy = sim::day_of_year(t);
+  const double decl = declination_deg(doy) * kDegToRad;
+  const double lat = config_.latitude_deg * kDegToRad;
+  const double cos_h0 = -std::tan(lat) * std::tan(decl);
+  if (cos_h0 <= -1.0) return 24.0;  // midnight sun
+  if (cos_h0 >= 1.0) return 0.0;    // polar night
+  return 2.0 * std::acos(cos_h0) / (15.0 * kDegToRad);
+}
+
+double SolarModel::cloud_factor(sim::SimTime t) {
+  const std::int64_t day = t.millis_since_epoch() / 86'400'000;
+  if (day != cloud_day_) {
+    // AR(1) walk around the mean; one draw per simulated day keeps weather
+    // persistent across the diurnal cycle, as real fronts are.
+    const double innovation =
+        rng_.normal(0.0, config_.cloud_stddev *
+                             std::sqrt(1.0 - config_.cloud_persistence *
+                                                 config_.cloud_persistence));
+    cloud_state_ = config_.cloud_mean +
+                   config_.cloud_persistence *
+                       (cloud_state_ - config_.cloud_mean) +
+                   innovation;
+    cloud_state_ = std::clamp(cloud_state_, 0.08, 1.0);
+    cloud_day_ = day;
+  }
+  return cloud_state_;
+}
+
+}  // namespace gw::env

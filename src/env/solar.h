@@ -1,0 +1,50 @@
+// Solar irradiance at the deployment site.
+//
+// Vatnajökull sits at ~64°N: near-total darkness around the winter solstice
+// and ~20 h days in June. The model computes solar elevation from the
+// standard declination/hour-angle formulas, converts to clear-sky
+// irradiance, and multiplies by a slowly-varying stochastic cloud factor.
+// This is what makes winter the hard season the paper designs for: the
+// solar panel contributes essentially nothing from November to February.
+#pragma once
+
+#include "sim/time.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace gw::env {
+
+struct SolarConfig {
+  double latitude_deg = 64.3;   // Vatnajökull ice cap
+  double clear_sky_peak = 990;  // W/m^2 at solar elevation 90 deg
+  double cloud_mean = 0.55;     // long-run mean transmission factor
+  double cloud_stddev = 0.18;
+  double cloud_persistence = 0.85;  // AR(1) day-to-day correlation
+};
+
+class SolarModel {
+ public:
+  SolarModel(SolarConfig config, util::Rng rng);
+
+  // Sine of solar elevation (may be negative: sun below horizon).
+  [[nodiscard]] double sin_elevation(sim::SimTime t) const;
+
+  // Irradiance on a horizontal surface, including cloud attenuation.
+  [[nodiscard]] util::WattsPerSquareMetre irradiance(sim::SimTime t);
+
+  // Daylight length in hours for the day containing t (cloud-independent).
+  [[nodiscard]] double daylight_hours(sim::SimTime t) const;
+
+  [[nodiscard]] const SolarConfig& config() const { return config_; }
+
+ private:
+  double cloud_factor(sim::SimTime t);
+
+  SolarConfig config_;
+  util::Rng rng_;
+  // AR(1) cloud state, refreshed once per simulated day.
+  std::int64_t cloud_day_ = -1;
+  double cloud_state_ = 0.0;
+};
+
+}  // namespace gw::env

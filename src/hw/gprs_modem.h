@@ -1,0 +1,150 @@
+// GPRS modem.
+//
+// The device that won the architecture argument: 5000 bps at 2640 mW versus
+// the radio modem's 2000 bps at 3960 mW (Table 1) — more than twice the
+// energy efficiency per bit, plus it frees each station from relaying
+// through the other (§II). Data is paid per megabyte, so the modem keeps a
+// cost ledger too (§II: "the data sent over the GPRS link is paid for per
+// megabyte").
+//
+// Transfers are drawn stochastically: registration can fail, and an
+// established session can drop mid-transfer — the everyday failures (§I:
+// "known to occur frequently, especially in the wetter summer") that the
+// daily-retry design absorbs.
+#pragma once
+
+#include "power/power_system.h"
+#include "sim/simulation.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace gw::hw {
+
+struct GprsConfig {
+  util::BitsPerSecond rate{5000.0};  // Table 1
+  util::Watts power{2.64};           // Table 1
+  sim::Duration registration_time = sim::seconds(35);
+  double registration_success = 0.92;
+  double drop_per_minute = 0.004;    // established-session drop hazard
+  double protocol_overhead = 1.12;   // TCP/PPP framing
+  double cost_per_mib = 5.0;         // currency units per MiB (§II)
+  // Probability a session wedges without failing — §VI's "a SCP transfer
+  // hangs" scenario. A hung transfer never returns; only the 2-hour
+  // watchdog ends it (the reported elapsed time is effectively infinite).
+  double hang_per_session = 0.0;
+};
+
+struct TransferOutcome {
+  bool success = false;
+  sim::Duration elapsed{};   // connect + transfer time actually spent
+  util::Bytes sent{0};       // payload bytes that got through
+};
+
+class GprsModem {
+ public:
+  GprsModem(sim::Simulation& simulation, power::PowerSystem& power,
+            util::Rng rng, GprsConfig config = {})
+      : simulation_(simulation),
+        power_(power),
+        config_(config),
+        rng_(rng),
+        load_(power.add_load("gprs", config.power)) {}
+
+  [[nodiscard]] bool powered() const { return powered_; }
+
+  void power_on() {
+    if (powered_) return;
+    powered_ = true;
+    power_.set_load(load_, true);
+  }
+
+  void power_off() {
+    if (!powered_) return;
+    powered_ = false;
+    power_.set_load(load_, false);
+  }
+
+  // Ideal payload transfer time (no failures), registration excluded.
+  [[nodiscard]] sim::Duration transfer_time(util::Bytes payload) const {
+    const double seconds =
+        util::transfer_seconds(payload, config_.rate) *
+        config_.protocol_overhead;
+    return sim::seconds(seconds);
+  }
+
+  // Attempts to move `payload` over a fresh session. Draws registration and
+  // per-minute drop hazards; the outcome reports how long the attempt took
+  // and how much payload made it (partial progress counts: the transfer
+  // manager resumes file-by-file, §VI). Requires power; the *caller* owns
+  // advancing simulated time by `elapsed` — devices never block the clock.
+  [[nodiscard]] TransferOutcome attempt_transfer(util::Bytes payload) {
+    TransferOutcome outcome;
+    if (!powered_) return outcome;
+    ++sessions_attempted_;
+    outcome.elapsed = config_.registration_time;
+    if (!rng_.bernoulli(config_.registration_success)) {
+      ++registration_failures_;
+      return outcome;
+    }
+    if (rng_.bernoulli(config_.hang_per_session)) {
+      // Wedged: nothing moves and control never comes back inside any
+      // realistic window — the watchdog will cut power first (§VI).
+      ++hangs_;
+      outcome.elapsed = sim::hours(24);
+      return outcome;
+    }
+    const double total_minutes = transfer_time(payload).to_minutes();
+    // Walk the transfer minute by minute against the drop hazard.
+    double minutes_survived = 0.0;
+    bool dropped = false;
+    while (minutes_survived < total_minutes) {
+      const double step = std::min(1.0, total_minutes - minutes_survived);
+      if (rng_.bernoulli(config_.drop_per_minute * step)) {
+        dropped = true;
+        // The drop lands somewhere inside this step.
+        minutes_survived += step * rng_.uniform();
+        break;
+      }
+      minutes_survived += step;
+    }
+    const double fraction =
+        total_minutes == 0.0 ? 1.0 : minutes_survived / total_minutes;
+    outcome.sent = util::Bytes{
+        std::int64_t(double(payload.count()) * std::min(1.0, fraction))};
+    outcome.elapsed += sim::minutes(minutes_survived);
+    outcome.success = !dropped;
+    bytes_sent_ += outcome.sent;
+    cost_ += outcome.sent.mib() * config_.cost_per_mib;
+    if (dropped) ++session_drops_;
+    return outcome;
+  }
+
+  // --- ledgers ---------------------------------------------------------
+
+  [[nodiscard]] util::Bytes bytes_sent() const { return bytes_sent_; }
+  [[nodiscard]] double data_cost() const { return cost_; }
+  [[nodiscard]] int sessions_attempted() const { return sessions_attempted_; }
+  [[nodiscard]] int registration_failures() const {
+    return registration_failures_;
+  }
+  [[nodiscard]] int session_drops() const { return session_drops_; }
+  [[nodiscard]] int hangs() const { return hangs_; }
+
+  [[nodiscard]] const GprsConfig& config() const { return config_; }
+
+ private:
+  sim::Simulation& simulation_;
+  power::PowerSystem& power_;
+  GprsConfig config_;
+  util::Rng rng_;
+  power::LoadHandle load_;
+  bool powered_ = false;
+  util::Bytes bytes_sent_{0};
+  double cost_ = 0.0;
+  int sessions_attempted_ = 0;
+  int registration_failures_ = 0;
+  int session_drops_ = 0;
+  int hangs_ = 0;
+};
+
+}  // namespace gw::hw

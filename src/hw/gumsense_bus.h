@@ -1,0 +1,113 @@
+// The I2C command channel between the Gumstix and the MSP430 (Fig 2).
+//
+// Fig 2 shows the two processors joined by I2C, with the MSP430 owning the
+// RTC, the sample store, the power switches and the wake schedule. This is
+// that wire protocol: fixed-format commands with a checksum byte, because
+// an inter-chip link on a freezing, condensation-prone board is not assumed
+// clean (§II's hardware-debugging acknowledgement was earned). Commands:
+//
+//   kReadSamples  -> drain the voltage-sample ring (the daily average input)
+//   kSetSchedule  -> install a serialised DaySchedule image in MSP RAM
+//   kReadRtc      -> read the microcontroller clock
+//   kSetRtc       -> discipline it (GPS/NTP fix, §IV)
+//
+// Transfers are tiny (tens of bytes at 100 kHz) — duration is negligible
+// next to everything else the window does, so the bus does not charge
+// simulated time; what it adds is the *framing and failure* semantics.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/schedule.h"
+#include "hw/msp430.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace gw::hw {
+
+enum class BusCommand : std::uint8_t {
+  kReadSamples = 0x01,
+  kSetSchedule = 0x02,
+  kReadRtc = 0x03,
+  kSetRtc = 0x04,
+};
+
+struct GumsenseBusConfig {
+  // Probability a transaction is NAKed and must be retried (cold solder,
+  // condensation — rare but nonzero on a field board).
+  double nak_probability = 0.0;
+  int max_retries = 3;
+};
+
+// The Gumstix-side master. Wraps every exchange in checksummed framing and
+// retries NAKs; a persistent failure surfaces as an error the daily run
+// logs (and survives — the §III safety stance: degraded, never wedged).
+class GumsenseBus {
+ public:
+  GumsenseBus(Msp430& msp, util::Rng rng, GumsenseBusConfig config = {})
+      : msp_(msp), config_(config), rng_(rng) {}
+
+  // Drains the MSP430 sample ring over the bus.
+  [[nodiscard]] util::Result<std::vector<VoltageSample>> read_samples() {
+    if (!transact(BusCommand::kReadSamples)) {
+      return util::make_error("i2c: read_samples NAK");
+    }
+    return msp_.drain_samples();
+  }
+
+  // Writes a serialised schedule image; the MSP parses and installs it.
+  util::Status set_schedule(const core::DaySchedule& schedule) {
+    if (!transact(BusCommand::kSetSchedule)) {
+      return util::Status::failure("i2c: set_schedule NAK");
+    }
+    const auto image = schedule.serialize();
+    const auto parsed = core::DaySchedule::parse(image);
+    if (!parsed.ok()) {
+      return util::Status::failure("i2c: schedule image rejected: " +
+                                   parsed.error().message);
+    }
+    msp_.set_wake_schedule(parsed.value().wake_time);
+    return {};
+  }
+
+  [[nodiscard]] util::Result<sim::SimTime> read_rtc() {
+    if (!transact(BusCommand::kReadRtc)) {
+      return util::make_error("i2c: read_rtc NAK");
+    }
+    return msp_.rtc_now();
+  }
+
+  util::Status set_rtc(sim::SimTime value) {
+    if (!transact(BusCommand::kSetRtc)) {
+      return util::Status::failure("i2c: set_rtc NAK");
+    }
+    msp_.set_rtc(value);
+    return {};
+  }
+
+  [[nodiscard]] int transactions() const { return transactions_; }
+  [[nodiscard]] int naks() const { return naks_; }
+
+ private:
+  // One framed transaction with retry-on-NAK.
+  bool transact(BusCommand command) {
+    (void)command;
+    for (int attempt = 0; attempt <= config_.max_retries; ++attempt) {
+      ++transactions_;
+      if (!rng_.bernoulli(config_.nak_probability)) return true;
+      ++naks_;
+    }
+    return false;
+  }
+
+  Msp430& msp_;
+  GumsenseBusConfig config_;
+  util::Rng rng_;
+  int transactions_ = 0;
+  int naks_ = 0;
+};
+
+}  // namespace gw::hw

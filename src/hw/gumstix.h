@@ -1,0 +1,83 @@
+// Gumstix connex: the "high performance" half of the Gumsense pairing.
+//
+// §II: a 400–600 MHz ARM Linux system in an 80×20 mm footprint drawing
+// ~100 mA (Table 1: 900 mW) with *no useful sleep mode* — which is the whole
+// reason the platform pairs it with an MSP430 and only powers it "when there
+// is a need for more processing power". The model tracks power state, boot
+// latency, and cumulative uptime; the energy cost flows through the
+// PowerSystem load it registers.
+#pragma once
+
+#include "power/power_system.h"
+#include "sim/simulation.h"
+#include "util/units.h"
+
+namespace gw::hw {
+
+struct GumstixConfig {
+  util::Watts run_power{0.9};  // Table 1
+  sim::Duration boot_time = sim::seconds(25);  // Linux boot to usable shell
+};
+
+class Gumstix {
+ public:
+  enum class State { kOff, kBooting, kRunning };
+
+  Gumstix(sim::Simulation& simulation, power::PowerSystem& power,
+          GumstixConfig config = {})
+      : simulation_(simulation),
+        power_(power),
+        config_(config),
+        load_(power.add_load("gumstix", config.run_power)) {}
+
+  [[nodiscard]] State state() const { return state_; }
+  [[nodiscard]] bool running() const { return state_ == State::kRunning; }
+
+  // Applies power. Returns the time at which Linux is up; callers schedule
+  // their first task at that moment. No-op (returns now) if already running.
+  sim::SimTime power_on() {
+    if (state_ == State::kRunning) return simulation_.now();
+    if (state_ == State::kOff) {
+      state_ = State::kBooting;
+      power_.set_load(load_, true);
+      powered_since_ = simulation_.now();
+      ++boot_count_;
+      boot_done_ = simulation_.now() + config_.boot_time;
+      simulation_.schedule_at(boot_done_, [this] {
+        if (state_ == State::kBooting) state_ = State::kRunning;
+      });
+    }
+    return boot_done_;
+  }
+
+  // Hard power cut from the Gumsense board (end of window, watchdog, or
+  // brown-out). Any in-flight work is simply gone — the paper's 2-hour
+  // safety timeout behaves exactly like this.
+  void power_off() {
+    if (state_ == State::kOff) return;
+    state_ = State::kOff;
+    power_.set_load(load_, false);
+    uptime_ += simulation_.now() - powered_since_;
+  }
+
+  [[nodiscard]] sim::Duration uptime() const {
+    if (state_ == State::kOff) return uptime_;
+    return uptime_ + (simulation_.now() - powered_since_);
+  }
+
+  [[nodiscard]] int boot_count() const { return boot_count_; }
+  [[nodiscard]] const GumstixConfig& config() const { return config_; }
+
+ private:
+  sim::Simulation& simulation_;
+  power::PowerSystem& power_;
+  GumstixConfig config_;
+  power::LoadHandle load_;
+  State state_ = State::kOff;
+  sim::SimTime powered_since_{};
+  sim::SimTime boot_done_{};
+  sim::Duration uptime_{};
+  int boot_count_ = 0;
+};
+
+}  // namespace gw::hw

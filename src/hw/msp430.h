@@ -1,0 +1,162 @@
+// MSP430: the "low power" half of the Gumsense pairing.
+//
+// The microcontroller is the only part of the station that is (nominally)
+// always on. It owns:
+//   * the real-time clock — which is volatile: total battery exhaustion
+//     resets it to 01/01/1970 00:00 (§IV);
+//   * the wake schedule — stored in RAM, also lost on exhaustion (§IV);
+//   * 30-minute battery-voltage sampling into a RAM ring buffer that the
+//     Gumstix drains once a day to compute the daily average (§III);
+//   * switched power control for the Gumstix and peripherals.
+//
+// The RTC also drifts slowly relative to true (simulation) time; GPS-derived
+// corrections discipline it (§II: synchronisation between dGPS readings is
+// still required).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "power/power_system.h"
+#include "sim/simulation.h"
+#include "util/ring_buffer.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace gw::hw {
+
+struct Msp430Config {
+  util::Watts sleep_power{0.0006};   // ~50 uA at 12 V incl. regulator
+  sim::Duration sample_interval = sim::minutes(30);
+  std::size_t sample_capacity = 96;  // two days of headroom
+  double rtc_drift_ppm = 8.0;        // crystal tolerance
+};
+
+struct VoltageSample {
+  sim::SimTime rtc_time;  // as stamped by the (possibly wrong) RTC
+  util::Volts voltage;
+};
+
+class Msp430 {
+ public:
+  Msp430(sim::Simulation& simulation, power::PowerSystem& power,
+         util::Rng rng, Msp430Config config = {})
+      : simulation_(simulation),
+        power_(power),
+        config_(config),
+        samples_(config.sample_capacity),
+        load_(power.add_load("msp430", config.sleep_power)) {
+    power_.set_load(load_, true);
+    // Crystal drift direction/magnitude fixed per board.
+    drift_factor_ = 1.0 + config_.rtc_drift_ppm * 1e-6 * rng.uniform(-1.0, 1.0);
+    rtc_anchor_sim_ = simulation_.now();
+    rtc_anchor_value_ = simulation_.now();
+    schedule_sample();
+  }
+
+  // --- RTC ------------------------------------------------------------
+
+  [[nodiscard]] sim::SimTime rtc_now() const {
+    const double elapsed =
+        double((simulation_.now() - rtc_anchor_sim_).millis());
+    return rtc_anchor_value_ +
+           sim::Duration{std::int64_t(elapsed * drift_factor_)};
+  }
+
+  // Disciplines the RTC (GPS or NTP fix).
+  void set_rtc(sim::SimTime value) {
+    rtc_anchor_sim_ = simulation_.now();
+    rtc_anchor_value_ = value;
+  }
+
+  // Absolute RTC error against true time, in milliseconds.
+  [[nodiscard]] std::int64_t rtc_error_ms() const {
+    return (rtc_now() - simulation_.now()).millis();
+  }
+
+  // --- wake schedule (RAM) ----------------------------------------------
+
+  // The schedule is a daily wake time (the communications window, §I: daily
+  // at midday UTC) interpreted against the RTC. Empty = no schedule (the
+  // state after a brown-out, until recovery rewrites it).
+  void set_wake_schedule(sim::Duration rtc_time_of_day) {
+    wake_time_of_day_ = rtc_time_of_day;
+  }
+  [[nodiscard]] std::optional<sim::Duration> wake_schedule() const {
+    return wake_time_of_day_;
+  }
+
+  // Next wake in *true* simulation time: the next moment the RTC reads the
+  // scheduled time of day. Drift and resets shift this — which is exactly
+  // the synchronisation hazard §II discusses. `min_delay` skips wake slots
+  // closer than that (the caller's guard against double-firing a slot the
+  // drifting RTC is still approaching).
+  [[nodiscard]] std::optional<sim::SimTime> next_wake(
+      sim::Duration min_delay = sim::Duration{0}) const {
+    if (!wake_time_of_day_.has_value()) return std::nullopt;
+    const sim::SimTime rtc = rtc_now();
+    const sim::SimTime rtc_floor =
+        rtc + sim::Duration{std::int64_t(double(min_delay.millis()) *
+                                         drift_factor_)};
+    sim::SimTime rtc_wake = sim::start_of_day(rtc) + *wake_time_of_day_;
+    while (rtc_wake <= rtc_floor) rtc_wake += sim::days(1);
+    // Convert RTC-time back to simulation time through the drift model,
+    // rounding up so the RTC has provably reached the slot when we fire.
+    const double rtc_delta = double((rtc_wake - rtc).millis());
+    const auto sim_delta =
+        std::int64_t(std::ceil(rtc_delta / drift_factor_));
+    return simulation_.now() + sim::Duration{std::max<std::int64_t>(1, sim_delta)};
+  }
+
+  // --- voltage sampling ----------------------------------------------------
+
+  // Drains the day's samples (oldest first) — what the Gumstix does once a
+  // day before computing the average (§III).
+  [[nodiscard]] std::vector<VoltageSample> drain_samples() {
+    return samples_.drain();
+  }
+
+  [[nodiscard]] std::size_t pending_samples() const { return samples_.size(); }
+
+  // --- brown-out ----------------------------------------------------------
+
+  // Total exhaustion: RAM contents (schedule, samples) vanish and the RTC
+  // restarts from the epoch (§IV).
+  void brown_out() {
+    wake_time_of_day_.reset();
+    samples_.clear();
+    rtc_anchor_sim_ = simulation_.now();
+    rtc_anchor_value_ = sim::kEpoch;
+    ++brown_out_count_;
+  }
+
+  [[nodiscard]] int brown_out_count() const { return brown_out_count_; }
+
+ private:
+  void schedule_sample() {
+    simulation_.schedule_in(config_.sample_interval, [this] {
+      // Sampling itself is powered by the sleep allowance; the paper calls
+      // its cost negligible. Skipped while the rail is dead.
+      if (!power_.browned_out()) {
+        samples_.push(VoltageSample{rtc_now(), power_.terminal_voltage()});
+      }
+      schedule_sample();
+    });
+  }
+
+  sim::Simulation& simulation_;
+  power::PowerSystem& power_;
+  Msp430Config config_;
+  util::RingBuffer<VoltageSample> samples_;
+  power::LoadHandle load_;
+  double drift_factor_ = 1.0;
+  sim::SimTime rtc_anchor_sim_{};
+  sim::SimTime rtc_anchor_value_{};
+  std::optional<sim::Duration> wake_time_of_day_;
+  int brown_out_count_ = 0;
+};
+
+}  // namespace gw::hw

@@ -1,0 +1,75 @@
+// 500 mW 466 MHz long-range radio modem — the Norway-architecture link.
+//
+// Table 1: 2000 bps at 3960 mW. §II documents why it lost: unreliable in
+// lab testing with time-of-day-correlated drop-outs (local interference),
+// the directional antenna needed at the café would not survive winter, and
+// a battery-powered endpoint cannot keep a ppp daemon listening. The model
+// keeps the device here and puts session/ppp semantics in proto::PppLink.
+#pragma once
+
+#include "env/interference.h"
+#include "power/power_system.h"
+#include "sim/simulation.h"
+#include "util/units.h"
+
+namespace gw::hw {
+
+struct RadioModemConfig {
+  util::BitsPerSecond rate{2000.0};  // Table 1
+  util::Watts power{3.96};           // Table 1
+  double protocol_overhead = 1.18;   // ppp + serial framing
+};
+
+class RadioModem {
+ public:
+  RadioModem(sim::Simulation& simulation, power::PowerSystem& power,
+             env::InterferenceModel& interference,
+             RadioModemConfig config = {})
+      : simulation_(simulation),
+        power_(power),
+        interference_(interference),
+        config_(config),
+        load_(power.add_load("radio_modem", config.power)) {}
+
+  [[nodiscard]] bool powered() const { return powered_; }
+
+  void power_on() {
+    if (powered_) return;
+    powered_ = true;
+    power_.set_load(load_, true);
+  }
+
+  void power_off() {
+    if (!powered_) return;
+    powered_ = false;
+    power_.set_load(load_, false);
+  }
+
+  [[nodiscard]] sim::Duration transfer_time(util::Bytes payload) const {
+    return sim::seconds(util::transfer_seconds(payload, config_.rate) *
+                        config_.protocol_overhead);
+  }
+
+  // Probability the carrier drops during one connected minute at t — fed by
+  // the interference model so lab vs glacier and time-of-day effects show
+  // through (§II).
+  [[nodiscard]] double drop_probability_per_minute(sim::SimTime t) const {
+    return interference_.dropout_probability(t);
+  }
+
+  [[nodiscard]] bool draw_drop(sim::SimTime t) {
+    return interference_.dropout(t);
+  }
+
+  [[nodiscard]] const RadioModemConfig& config() const { return config_; }
+
+ private:
+  sim::Simulation& simulation_;
+  power::PowerSystem& power_;
+  env::InterferenceModel& interference_;
+  RadioModemConfig config_;
+  power::LoadHandle load_;
+  bool powered_ = false;
+};
+
+}  // namespace gw::hw

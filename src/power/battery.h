@@ -1,0 +1,121 @@
+// Lead-acid battery bank model.
+//
+// The stations run from a 12 V lead-acid bank (the paper's worked example
+// uses 36 Ah). The model is deliberately shape-level, not electrochemical:
+//   * open-circuit voltage is linear in state of charge (~11.9 V empty,
+//     ~12.75 V full at rest) — the range Table 2's thresholds live in;
+//   * terminal voltage adds an IR term: charging lifts it toward the
+//     regulator float limit (Fig 5 peaks ~14.5 V at midday), loads dip it
+//     (Fig 5's 2-hourly dGPS dips in state 3);
+//   * charge acceptance tapers near full, coulombic efficiency < 1;
+//   * usable capacity derates in the cold;
+//   * hitting empty is a *brown-out*: the MSP430 loses its RAM schedule and
+//     the RTC resets (§IV) — callers watch the depleted()/recovered edge.
+#pragma once
+
+#include <algorithm>
+
+#include "util/units.h"
+
+namespace gw::power {
+
+struct BatteryConfig {
+  util::AmpHours capacity{36.0};  // paper's worked example
+  util::Volts ocv_empty{11.9};   // rest voltage at the knee (see knee_soc)
+  util::Volts ocv_full{12.75};
+  // Below knee_soc the cell voltage collapses toward ocv_at_zero — the
+  // steep tail of a lead-acid discharge curve. Without it the Table 2
+  // state-0 threshold (11.5 V) could never be crossed at rest.
+  double knee_soc = 0.15;
+  util::Volts ocv_at_zero{10.5};
+  util::Ohms discharge_resistance{0.25};
+  util::Ohms charge_resistance{0.5};
+  util::Volts float_limit{14.5};   // regulator clamp; Fig 5 ceiling
+  double coulombic_efficiency = 0.88;
+  double acceptance_taper_start = 0.90;  // SoC where charging tapers
+  double capacity_temp_coeff = 0.008;    // fractional capacity per degC from 25
+  double min_capacity_fraction = 0.55;   // deep-cold floor
+  double self_discharge_per_day = 0.001;
+  double initial_soc = 0.9;
+};
+
+class LeadAcidBattery {
+ public:
+  explicit LeadAcidBattery(BatteryConfig config)
+      : config_(config), soc_(config.initial_soc) {}
+
+  [[nodiscard]] double soc() const { return soc_; }
+  void set_soc(double soc) { soc_ = std::clamp(soc, 0.0, 1.0); }
+
+  [[nodiscard]] util::AmpHours nominal_capacity() const {
+    return config_.capacity;
+  }
+
+  // Temperature-derated usable capacity.
+  [[nodiscard]] util::AmpHours effective_capacity(util::Celsius temp) const {
+    const double fraction =
+        std::clamp(1.0 + config_.capacity_temp_coeff * (temp.value() - 25.0),
+                   config_.min_capacity_fraction, 1.05);
+    return config_.capacity * fraction;
+  }
+
+  [[nodiscard]] util::Volts open_circuit_voltage() const {
+    if (soc_ >= config_.knee_soc) {
+      // Linear plateau: ocv_empty at the knee up to ocv_full when full.
+      const double x =
+          (soc_ - config_.knee_soc) / (1.0 - config_.knee_soc);
+      return config_.ocv_empty + (config_.ocv_full - config_.ocv_empty) * x;
+    }
+    // Steep collapse below the knee.
+    const double x = soc_ / config_.knee_soc;
+    return config_.ocv_at_zero +
+           (config_.ocv_empty - config_.ocv_at_zero) * x;
+  }
+
+  // Terminal voltage under the given net current (positive = charging).
+  [[nodiscard]] util::Volts terminal_voltage(util::Amps net_current) const {
+    const util::Volts ocv = open_circuit_voltage();
+    if (net_current.value() >= 0.0) {
+      const util::Volts v = ocv + net_current * config_.charge_resistance;
+      return std::min(v, config_.float_limit);
+    }
+    return ocv + net_current * config_.discharge_resistance;
+  }
+
+  // How much of an offered charging current the battery accepts (tapers as
+  // it approaches full).
+  [[nodiscard]] util::Amps accepted_charge_current(util::Amps offered) const {
+    if (soc_ < config_.acceptance_taper_start) return offered;
+    const double headroom =
+        (1.0 - soc_) / (1.0 - config_.acceptance_taper_start);
+    return offered * std::clamp(headroom, 0.0, 1.0);
+  }
+
+  // Integrates one step. charge/load are the currents over the interval;
+  // duration in hours. Returns true if the battery hit empty this step.
+  bool step(util::Amps charge_current, util::Amps load_current,
+            double duration_hours, util::Celsius temp) {
+    const util::Amps accepted = accepted_charge_current(charge_current);
+    const double delta_ah =
+        (accepted.value() * config_.coulombic_efficiency -
+         load_current.value()) *
+        duration_hours;
+    const double cap = effective_capacity(temp).value();
+    double soc = soc_ + delta_ah / cap;
+    soc -= config_.self_discharge_per_day * (duration_hours / 24.0);
+    const bool was_empty = soc_ <= 0.0;
+    soc_ = std::clamp(soc, 0.0, 1.0);
+    return !was_empty && soc_ <= 0.0;
+  }
+
+  // Tolerance absorbs floating-point residue from repeated integration.
+  [[nodiscard]] bool empty() const { return soc_ <= 1e-9; }
+
+  [[nodiscard]] const BatteryConfig& config() const { return config_; }
+
+ private:
+  BatteryConfig config_;
+  double soc_;
+};
+
+}  // namespace gw::power

@@ -1,0 +1,204 @@
+// PowerSystem: the station's electrical backbone.
+//
+// Owns the battery, the chargers, and a registry of switched loads (every
+// hw device registers one — the Gumsense board's software-controlled
+// peripheral power switches, §II). A periodic tick integrates harvest
+// against consumption, tracks per-load and per-source energy ledgers, and
+// detects the two edges the paper's recovery logic cares about:
+//   * depletion (brown-out): all loads drop, MSP430 RAM/RTC are lost;
+//   * recovery: external charging lifts the bank back above a restart
+//     threshold and the station can cold-boot (§IV).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "env/environment.h"
+#include "power/battery.h"
+#include "power/chargers.h"
+#include "sim/simulation.h"
+#include "util/units.h"
+
+namespace gw::power {
+
+using LoadHandle = std::size_t;
+
+struct PowerSystemConfig {
+  BatteryConfig battery;
+  sim::Duration tick = sim::minutes(1);
+  double recovery_soc = 0.15;  // cold-boot allowed above this
+  util::Volts nominal{12.0};
+};
+
+class PowerSystem {
+ public:
+  PowerSystem(sim::Simulation& simulation, env::Environment& environment,
+              PowerSystemConfig config)
+      : simulation_(simulation),
+        environment_(environment),
+        config_(config),
+        battery_(config.battery) {}
+
+  // --- wiring ------------------------------------------------------------
+
+  void add_charger(std::unique_ptr<Charger> charger) {
+    chargers_.push_back(std::move(charger));
+    harvested_.emplace(chargers_.back()->name(), util::Joules{0.0});
+  }
+
+  // Registers a named load; it starts switched off.
+  LoadHandle add_load(std::string name, util::Watts draw_when_on) {
+    loads_.push_back(Load{std::move(name), draw_when_on, false});
+    consumed_.emplace(loads_.back().name, util::Joules{0.0});
+    return loads_.size() - 1;
+  }
+
+  void set_load(LoadHandle handle, bool on) {
+    loads_.at(handle).on = on && !browned_out_;
+  }
+
+  // Some devices vary their draw (e.g. GPRS modem idle vs transmitting).
+  void set_load_power(LoadHandle handle, util::Watts draw) {
+    loads_.at(handle).draw = draw;
+  }
+
+  [[nodiscard]] bool load_on(LoadHandle handle) const {
+    return loads_.at(handle).on;
+  }
+
+  // --- lifecycle ----------------------------------------------------------
+
+  // Starts the periodic integration tick. Call once after wiring.
+  void start() { schedule_tick(); }
+
+  void on_brown_out(std::function<void()> fn) {
+    brown_out_handlers_.push_back(std::move(fn));
+  }
+  void on_recovery(std::function<void()> fn) {
+    recovery_handlers_.push_back(std::move(fn));
+  }
+
+  // --- observation ---------------------------------------------------------
+
+  [[nodiscard]] LeadAcidBattery& battery() { return battery_; }
+  [[nodiscard]] const LeadAcidBattery& battery() const { return battery_; }
+  [[nodiscard]] bool browned_out() const { return browned_out_; }
+
+  // Instantaneous terminal voltage under the present net current — what the
+  // Gumsense ADC samples every 30 minutes.
+  [[nodiscard]] util::Volts terminal_voltage() {
+    const util::Amps net = last_charge_current_ - total_load_current();
+    return battery_.terminal_voltage(net);
+  }
+
+  [[nodiscard]] util::Watts total_load_power() const {
+    util::Watts sum{0.0};
+    for (const auto& load : loads_) {
+      if (load.on) sum += load.draw;
+    }
+    return sum;
+  }
+
+  [[nodiscard]] util::Amps total_load_current() const {
+    return total_load_power() / config_.nominal;
+  }
+
+  [[nodiscard]] util::Joules consumed_by(const std::string& name) const {
+    const auto it = consumed_.find(name);
+    if (it == consumed_.end()) {
+      throw std::out_of_range("PowerSystem: unknown load " + name);
+    }
+    return it->second;
+  }
+
+  [[nodiscard]] util::Joules harvested_by(const std::string& name) const {
+    const auto it = harvested_.find(name);
+    if (it == harvested_.end()) {
+      throw std::out_of_range("PowerSystem: unknown charger " + name);
+    }
+    return it->second;
+  }
+
+  [[nodiscard]] util::Joules total_consumed() const {
+    util::Joules sum{0.0};
+    for (const auto& [name, joules] : consumed_) sum += joules;
+    return sum;
+  }
+
+  [[nodiscard]] util::Joules total_harvested() const {
+    util::Joules sum{0.0};
+    for (const auto& [name, joules] : harvested_) sum += joules;
+    return sum;
+  }
+
+  [[nodiscard]] int brown_out_count() const { return brown_out_count_; }
+
+  // Single integration step, public so unit tests can drive it directly
+  // without a Simulation.
+  void tick(sim::Duration dt) {
+    const sim::SimTime now = simulation_.now();
+    const util::Celsius temp = environment_.temperature().air(now);
+    const double dt_hours = dt.to_hours();
+    const double dt_seconds = dt.to_seconds();
+
+    util::Watts harvest_total{0.0};
+    for (const auto& charger : chargers_) {
+      const util::Watts watts = charger->output(now, environment_);
+      harvested_[charger->name()] += util::energy(watts, dt_seconds);
+      harvest_total += watts;
+    }
+    last_charge_current_ = harvest_total / config_.nominal;
+
+    for (auto& load : loads_) {
+      if (load.on) {
+        consumed_[load.name] += util::energy(load.draw, dt_seconds);
+      }
+    }
+
+    battery_.step(last_charge_current_, total_load_current(), dt_hours, temp);
+
+    if (battery_.empty() && !browned_out_) {
+      browned_out_ = true;
+      ++brown_out_count_;
+      for (auto& load : loads_) load.on = false;  // hardware brown-out
+      for (const auto& fn : brown_out_handlers_) fn();
+    } else if (browned_out_ && battery_.soc() >= config_.recovery_soc) {
+      browned_out_ = false;
+      for (const auto& fn : recovery_handlers_) fn();
+    }
+  }
+
+ private:
+  struct Load {
+    std::string name;
+    util::Watts draw{0.0};
+    bool on = false;
+  };
+
+  void schedule_tick() {
+    simulation_.schedule_in(config_.tick, [this] {
+      tick(config_.tick);
+      schedule_tick();
+    });
+  }
+
+  sim::Simulation& simulation_;
+  env::Environment& environment_;
+  PowerSystemConfig config_;
+  LeadAcidBattery battery_;
+  std::vector<std::unique_ptr<Charger>> chargers_;
+  std::vector<Load> loads_;
+  std::map<std::string, util::Joules> consumed_;
+  std::map<std::string, util::Joules> harvested_;
+  util::Amps last_charge_current_{0.0};
+  bool browned_out_ = false;
+  int brown_out_count_ = 0;
+  std::vector<std::function<void()>> brown_out_handlers_;
+  std::vector<std::function<void()>> recovery_handlers_;
+};
+
+}  // namespace gw::power

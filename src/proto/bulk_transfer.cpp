@@ -1,0 +1,187 @@
+#include "proto/bulk_transfer.h"
+
+#include <vector>
+
+namespace gw::proto {
+namespace {
+
+// Shared session bookkeeping: advances a time cursor per frame and stops at
+// the budget. Time advances with airtime because loss probability is
+// time-dependent (a session can straddle changing conditions).
+class Session {
+ public:
+  Session(ProbeLink& link, sim::SimTime start, sim::Duration budget)
+      : link_(link), now_(start), deadline_(start + budget) {}
+
+  [[nodiscard]] bool out_of_budget() const { return now_ >= deadline_; }
+  [[nodiscard]] sim::SimTime now() const { return now_; }
+  [[nodiscard]] sim::Duration elapsed(sim::SimTime start) const {
+    return now_ - start;
+  }
+
+  // Sends one frame: spends airtime, draws survival.
+  bool send(util::Bytes wire_size) {
+    now_ += link_.airtime(wire_size);
+    return link_.packet_survives(now_);
+  }
+
+  // Idle wait (retransmission timeouts).
+  void wait(sim::Duration d) { now_ += d; }
+
+ private:
+  ProbeLink& link_;
+  sim::SimTime now_;
+  sim::SimTime deadline_;
+};
+
+}  // namespace
+
+TransferStats NackBulkTransfer::run(ProbeStore& store, sim::SimTime start,
+                                    sim::Duration budget) {
+  TransferStats stats;
+  Session session{link_, start, budget};
+
+  // Snapshot the work list: the probe answers the daily query with its
+  // pending backlog.
+  std::vector<std::uint32_t> wanted;
+  wanted.reserve(store.pending_count());
+  for (const auto& reading : store.pending()) wanted.push_back(reading.seq);
+  stats.offered = wanted.size();
+
+  std::set<std::uint32_t> received;
+
+  // Round 0: stream everything with no per-packet ACKs (§V).
+  auto stream = [&](const std::vector<std::uint32_t>& seqs) {
+    for (const auto seq : seqs) {
+      if (session.out_of_budget()) {
+        stats.budget_exhausted = true;
+        break;
+      }
+      ++stats.data_packets;
+      if (session.send(kReadingWireSize)) received.insert(seq);
+    }
+  };
+  stream(wanted);
+
+  auto missing_list = [&] {
+    std::vector<std::uint32_t> missing;
+    for (const auto seq : wanted) {
+      if (!received.contains(seq)) missing.push_back(seq);
+    }
+    return missing;
+  };
+
+  stats.missing_after_stream = missing_list().size();
+
+  for (int round = 1; round < config_.max_rounds; ++round) {
+    if (stats.budget_exhausted || stats.aborted) break;
+    const std::vector<std::uint32_t> missing = missing_list();
+    if (missing.empty()) break;
+
+    // "unless there were so many that it would be as efficient to request
+    // them all again" — the probe's bulk mode can only replay its *entire*
+    // pending dump, so the whole set is re-streamed (already-received
+    // frames arrive as duplicates and are dropped). That costs one data
+    // frame per reading offered; the individual path costs a request +
+    // response (+ timeout risk) per *missing* reading — the crossover the
+    // ratio knob encodes sits near 50%.
+    if (double(missing.size()) >=
+        config_.rerequest_all_ratio * double(stats.offered)) {
+      ++stats.rerequest_all_rounds;
+      stream(wanted);
+      continue;
+    }
+
+    // Individual re-requests — the path that "could fail" in the deployed
+    // firmware when ~400 readings landed on it (§V).
+    if (config_.legacy_individual_limit > 0 &&
+        missing.size() > config_.legacy_individual_limit) {
+      stats.aborted = true;
+      break;
+    }
+    for (const auto seq : missing) {
+      if (session.out_of_budget()) {
+        stats.budget_exhausted = true;
+        break;
+      }
+      ++stats.control_packets;
+      if (!session.send(kRequestWireSize)) {
+        // Request lost: the probe never answers; wait out the response
+        // timer before moving on.
+        session.wait(config_.response_timeout);
+        continue;
+      }
+      ++stats.data_packets;
+      if (session.send(kReadingWireSize)) received.insert(seq);
+    }
+  }
+
+  // Final confirmation: tell the probe what arrived so it can drop those
+  // readings. Small frame; modelled as reliable (it is retried at the
+  // command layer until it gets through).
+  if (!received.empty()) ++stats.control_packets;
+
+  for (const auto& reading : store.pending()) {
+    if (received.contains(reading.seq)) {
+      stats.delivered_readings.push_back(reading);
+    }
+  }
+  stats.delivered = store.confirm_delivered(received);
+  stats.still_missing = stats.offered - stats.delivered;
+  stats.airtime = session.elapsed(start);
+  return stats;
+}
+
+TransferStats StopAndWaitTransfer::run(ProbeStore& store, sim::SimTime start,
+                                       sim::Duration budget) {
+  TransferStats stats;
+  Session session{link_, start, budget};
+
+  std::vector<std::uint32_t> wanted;
+  wanted.reserve(store.pending_count());
+  for (const auto& reading : store.pending()) wanted.push_back(reading.seq);
+  stats.offered = wanted.size();
+
+  std::set<std::uint32_t> acked;
+
+  for (const auto seq : wanted) {
+    if (session.out_of_budget()) {
+      stats.budget_exhausted = true;
+      break;
+    }
+    for (int attempt = 0; attempt < config_.max_retries_per_reading;
+         ++attempt) {
+      if (session.out_of_budget()) {
+        stats.budget_exhausted = true;
+        break;
+      }
+      ++stats.data_packets;
+      const bool data_arrived = session.send(kReadingWireSize);
+      if (!data_arrived) {
+        session.wait(config_.ack_timeout);  // sender times out, retransmits
+        continue;
+      }
+      ++stats.control_packets;
+      const bool ack_arrived = session.send(kAckWireSize);
+      if (ack_arrived) {
+        acked.insert(seq);
+        break;
+      }
+      // ACK lost: sender waits out the timer, then retransmits a reading
+      // the base already has — the duplicate cost the NACK design avoids.
+      session.wait(config_.ack_timeout);
+    }
+  }
+
+  for (const auto& reading : store.pending()) {
+    if (acked.contains(reading.seq)) {
+      stats.delivered_readings.push_back(reading);
+    }
+  }
+  stats.delivered = store.confirm_delivered(acked);
+  stats.still_missing = stats.offered - stats.delivered;
+  stats.airtime = session.elapsed(start);
+  return stats;
+}
+
+}  // namespace gw::proto

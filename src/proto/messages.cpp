@@ -1,0 +1,133 @@
+#include "proto/messages.h"
+
+#include <cstdio>
+
+#include "util/crc32.h"
+#include "util/strings.h"
+
+namespace gw::proto {
+namespace {
+
+std::string crc_hex(std::string_view body) {
+  char buffer[16];
+  std::snprintf(buffer, sizeof(buffer), "%08x", util::crc32(body));
+  return buffer;
+}
+
+}  // namespace
+
+std::string Form::encode() const {
+  std::string body;
+  for (const auto& [key, value] : fields_) {
+    if (!body.empty()) body += '&';
+    body += key;
+    body += '=';
+    body += value;
+  }
+  return body + '#' + crc_hex(body);
+}
+
+util::Result<Form> Form::decode(const std::string& wire) {
+  const auto hash = wire.rfind('#');
+  if (hash == std::string::npos) {
+    return util::make_error("form: missing crc");
+  }
+  const std::string body = wire.substr(0, hash);
+  const std::string crc = wire.substr(hash + 1);
+  if (crc != crc_hex(body)) {
+    return util::make_error("form: crc mismatch");
+  }
+  Form form;
+  if (body.empty()) return form;
+  for (const auto& pair : util::split(body, '&')) {
+    const auto eq = pair.find('=');
+    if (eq == std::string::npos) {
+      return util::make_error("form: malformed field '" + pair + "'");
+    }
+    form.set(pair.substr(0, eq), pair.substr(eq + 1));
+  }
+  return form;
+}
+
+// --- StateReport ----------------------------------------------------------
+
+std::string StateReport::encode() const {
+  Form form;
+  form.set("msg", "state_report");
+  form.set("station", station);
+  form.set_int("state", core::to_int(state));
+  form.set_int("rtc_ms", day_ms);
+  return form.encode();
+}
+
+util::Result<StateReport> StateReport::decode(const std::string& wire) {
+  auto form = Form::decode(wire);
+  if (!form.ok()) return form.error();
+  if (form.value().get("msg").value_or("") != "state_report") {
+    return util::make_error("state_report: wrong message type");
+  }
+  const auto station = form.value().get("station");
+  const auto state = form.value().get_int("state");
+  const auto rtc = form.value().get_int("rtc_ms");
+  if (!station || !state || !rtc) {
+    return util::make_error("state_report: missing fields");
+  }
+  StateReport report;
+  report.station = *station;
+  report.state = core::from_int(int(*state));
+  report.day_ms = *rtc;
+  return report;
+}
+
+// --- OverrideRequest --------------------------------------------------------
+
+std::string OverrideRequest::encode() const {
+  Form form;
+  form.set("msg", "override_request");
+  form.set("station", station);
+  return form.encode();
+}
+
+util::Result<OverrideRequest> OverrideRequest::decode(
+    const std::string& wire) {
+  auto form = Form::decode(wire);
+  if (!form.ok()) return form.error();
+  if (form.value().get("msg").value_or("") != "override_request") {
+    return util::make_error("override_request: wrong message type");
+  }
+  const auto station = form.value().get("station");
+  if (!station) return util::make_error("override_request: missing station");
+  OverrideRequest request;
+  request.station = *station;
+  return request;
+}
+
+// --- OverrideResponse -------------------------------------------------------
+
+std::string OverrideResponse::encode() const {
+  Form form;
+  form.set("msg", "override_response");
+  form.set_int("has", has_override ? 1 : 0);
+  form.set_int("state", core::to_int(state));
+  return form.encode();
+}
+
+util::Result<OverrideResponse> OverrideResponse::decode(
+    const std::string& wire) {
+  auto form = Form::decode(wire);
+  if (!form.ok()) return form.error();
+  if (form.value().get("msg").value_or("") != "override_response") {
+    return util::make_error("override_response: wrong message type");
+  }
+  const auto has = form.value().get_int("has");
+  const auto state = form.value().get_int("state");
+  if (!has || !state) {
+    return util::make_error("override_response: missing fields");
+  }
+  OverrideResponse response;
+  response.has_override = *has != 0;
+  response.state = core::from_int(int(*state));
+  return response;
+}
+
+}  // namespace gw::proto

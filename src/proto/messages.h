@@ -1,0 +1,97 @@
+// Control-plane message codec for station <-> Southampton exchanges.
+//
+// The deployed stations spoke to the server over plain HTTP GETs and small
+// uploads (§VI: even the MD5 beacon was a GET because the onboard wget
+// lacked POST). This codec renders each control message as a compact
+// "key=value&key=value" form with a trailing CRC-32, so the simulation's
+// transfer sizes come from real encodings and corrupted messages are
+// detected rather than trusted — field lesson §VI applied to the control
+// plane.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "core/power_policy.h"
+#include "util/result.h"
+#include "util/units.h"
+
+namespace gw::proto {
+
+// A flat, ordered key=value form. Keys and values must not contain '=', '&'
+// or '#' (the CRC separator); the station-side code only ever uses
+// identifiers and numbers.
+class Form {
+ public:
+  void set(const std::string& key, const std::string& value) {
+    fields_[key] = value;
+  }
+  void set_int(const std::string& key, std::int64_t value) {
+    fields_[key] = std::to_string(value);
+  }
+
+  [[nodiscard]] std::optional<std::string> get(const std::string& key) const {
+    const auto it = fields_.find(key);
+    if (it == fields_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  [[nodiscard]] std::optional<std::int64_t> get_int(
+      const std::string& key) const {
+    const auto text = get(key);
+    if (!text.has_value()) return std::nullopt;
+    try {
+      return std::stoll(*text);
+    } catch (...) {
+      return std::nullopt;
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const { return fields_.size(); }
+
+  // Renders "k1=v1&k2=v2#crc32hex".
+  [[nodiscard]] std::string encode() const;
+
+  // Parses and verifies the CRC.
+  [[nodiscard]] static util::Result<Form> decode(const std::string& wire);
+
+ private:
+  std::map<std::string, std::string> fields_;
+};
+
+// --- typed messages -------------------------------------------------------
+
+struct StateReport {
+  std::string station;
+  core::PowerState state = core::PowerState::kState0;
+  std::int64_t day_ms = 0;  // station RTC at report time
+
+  [[nodiscard]] std::string encode() const;
+  [[nodiscard]] static util::Result<StateReport> decode(
+      const std::string& wire);
+};
+
+struct OverrideRequest {
+  std::string station;
+  [[nodiscard]] std::string encode() const;
+  [[nodiscard]] static util::Result<OverrideRequest> decode(
+      const std::string& wire);
+};
+
+struct OverrideResponse {
+  bool has_override = false;
+  core::PowerState state = core::PowerState::kState3;
+  [[nodiscard]] std::string encode() const;
+  [[nodiscard]] static util::Result<OverrideResponse> decode(
+      const std::string& wire);
+};
+
+// The wire size of an encoded message, for transfer accounting.
+[[nodiscard]] inline util::Bytes wire_size(const std::string& encoded) {
+  // HTTP request line + headers the deployed wget added (~180 B) + body.
+  return util::Bytes{std::int64_t(encoded.size()) + 180};
+}
+
+}  // namespace gw::proto

@@ -1,0 +1,73 @@
+// Probe radio frame codec.
+//
+// The wire format behind the §V protocol's arithmetic: every frame carries
+// a 16-byte header+trailer (sync, version, type, probe id, payload length,
+// sequence, CRC-32) around its payload. The constants in reading.h
+// (kReadingWireSize = 64, kRequestWireSize = 24, kAckWireSize = 20) are
+// *derived* from these encodings, and the tests pin them together so the
+// protocol benches can never drift from the codec.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "proto/reading.h"
+#include "util/crc32.h"
+#include "util/result.h"
+
+namespace gw::proto {
+
+enum class FrameType : std::uint8_t {
+  kReadingData = 1,   // probe -> base: one reading (stream or re-send)
+  kResendRequest = 2, // base -> probe: send this sequence number again
+  kAck = 3,           // base -> probe: stop-and-wait acknowledgement
+  kConfirm = 4,       // base -> probe: these sequences arrived; drop them
+  kQueryPending = 5,  // base -> probe: start the daily session
+};
+
+struct Frame {
+  FrameType type = FrameType::kReadingData;
+  std::uint16_t probe_id = 0;
+  std::uint32_t seq = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+// Header: sync(2) ver(1) type(1) probe_id(2) len(2) seq(4) = 12 bytes;
+// trailer: crc32(4). Total framing = 16 bytes (kFrameOverhead).
+inline constexpr std::size_t kHeaderBytes = 12;
+inline constexpr std::size_t kTrailerBytes = 4;
+
+[[nodiscard]] std::vector<std::uint8_t> encode_frame(const Frame& frame);
+[[nodiscard]] util::Result<Frame> decode_frame(
+    std::span<const std::uint8_t> wire);
+
+// --- reading payload (fixed 48 bytes = kReadingPayload) --------------------
+
+[[nodiscard]] std::vector<std::uint8_t> serialize_reading(
+    const ProbeReading& reading);
+[[nodiscard]] util::Result<ProbeReading> parse_reading(
+    std::span<const std::uint8_t> payload);
+
+// --- whole-frame builders ---------------------------------------------------
+
+[[nodiscard]] std::vector<std::uint8_t> encode_reading_frame(
+    const ProbeReading& reading);
+[[nodiscard]] std::vector<std::uint8_t> encode_resend_request(
+    std::uint16_t probe_id, std::uint32_t seq);
+[[nodiscard]] std::vector<std::uint8_t> encode_ack(std::uint16_t probe_id,
+                                                   std::uint32_t seq);
+
+// A confirmation frame carries up to kMaxSeqsPerConfirm sequence numbers;
+// larger sets are chunked across frames.
+inline constexpr std::size_t kMaxSeqsPerConfirm = 56;
+[[nodiscard]] std::vector<std::vector<std::uint8_t>> encode_confirm(
+    std::uint16_t probe_id, std::span<const std::uint32_t> seqs);
+[[nodiscard]] util::Result<std::vector<std::uint32_t>> parse_confirm(
+    const Frame& frame);
+
+[[nodiscard]] std::vector<std::uint8_t> encode_query_pending(
+    std::uint16_t probe_id);
+
+}  // namespace gw::proto

@@ -1,0 +1,61 @@
+// Probe-side reading store with task-completion semantics.
+//
+// §V's saving grace: "the task was not marked as complete in the probes; so
+// many missing readings were obtained in subsequent days." The store keeps
+// every reading until the base station has confirmed it, so a failed or
+// truncated session simply leaves work for tomorrow.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <set>
+#include <vector>
+
+#include "proto/reading.h"
+
+namespace gw::proto {
+
+class ProbeStore {
+ public:
+  void add(ProbeReading reading) { pending_.push_back(reading); }
+
+  [[nodiscard]] std::size_t pending_count() const { return pending_.size(); }
+  [[nodiscard]] bool empty() const { return pending_.empty(); }
+
+  // Everything awaiting delivery, oldest first (what the probe streams when
+  // the base station queries it).
+  [[nodiscard]] const std::deque<ProbeReading>& pending() const {
+    return pending_;
+  }
+
+  // Lookup by sequence number (individual re-request path).
+  [[nodiscard]] const ProbeReading* find(std::uint32_t seq) const {
+    for (const auto& reading : pending_) {
+      if (reading.seq == seq) return &reading;
+    }
+    return nullptr;
+  }
+
+  // The base station confirms delivery of a set of sequence numbers; only
+  // then do readings leave the probe. Returns how many were released.
+  std::size_t confirm_delivered(const std::set<std::uint32_t>& seqs) {
+    const std::size_t before = pending_.size();
+    std::deque<ProbeReading> keep;
+    for (auto& reading : pending_) {
+      if (!seqs.contains(reading.seq)) keep.push_back(reading);
+    }
+    pending_ = std::move(keep);
+    delivered_total_ += before - pending_.size();
+    return before - pending_.size();
+  }
+
+  [[nodiscard]] std::size_t delivered_total() const {
+    return delivered_total_;
+  }
+
+ private:
+  std::deque<ProbeReading> pending_;
+  std::size_t delivered_total_ = 0;
+};
+
+}  // namespace gw::proto

@@ -1,0 +1,37 @@
+// Subglacial probe readings and their wire format.
+//
+// Probes sit ~70 m under the ice (§I) measuring conductivity, orientation
+// and pressure. A reading is one sample of that suite; on the radio it
+// travels as one framed packet with CRC. Sizes are calibrated so a summer
+// backlog of 3000 readings is a realistic multi-hour transfer at probe
+// radio rates (§V).
+#pragma once
+
+#include <cstdint>
+
+#include "util/units.h"
+
+namespace gw::proto {
+
+struct ProbeReading {
+  int probe_id = 0;
+  std::uint32_t seq = 0;       // per-probe monotonically increasing
+  std::int64_t sampled_ms = 0; // probe RTC timestamp
+  double conductivity_us = 0.0;
+  double pressure_kpa = 0.0;
+  double tilt_deg = 0.0;
+  double temperature_c = 0.0;
+};
+
+// Payload bytes of one serialised reading.
+inline constexpr util::Bytes kReadingPayload{48};
+// Framing: sync, addressing, length, sequence, CRC-32.
+inline constexpr util::Bytes kFrameOverhead{16};
+inline constexpr util::Bytes kReadingWireSize{kReadingPayload.count() +
+                                              kFrameOverhead.count()};
+// A retransmission request names one sequence number.
+inline constexpr util::Bytes kRequestWireSize{24};
+// A link-layer acknowledgement (stop-and-wait baseline only).
+inline constexpr util::Bytes kAckWireSize{20};
+
+}  // namespace gw::proto

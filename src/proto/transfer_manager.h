@@ -1,0 +1,170 @@
+// Resumable upload queue for the daily GPRS window.
+//
+// Everything leaving the glacier (dGPS files, probe readings, sensor
+// packages, the logfile) goes through this queue. §VI's backlog behaviour
+// is implemented literally: data is processed *file by file*, so a backlog
+// too big for one window drains over several days — but a single file
+// larger than a whole window makes no progress at all ("no progress could
+// ever be made"), the livelock the paper flags. `chunk_resume` is the
+// obvious fix (keep partial progress across windows); it defaults off to
+// match the deployed system and is swept in bench_backlog_watchdog.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "hw/gprs_modem.h"
+#include "sim/time.h"
+#include "util/units.h"
+
+namespace gw::proto {
+
+struct UploadFile {
+  std::string name;
+  util::Bytes size{0};
+  util::Bytes sent{0};  // partial progress (kept only with chunk_resume)
+  int priority = 0;     // higher uploads first (extension; see config)
+};
+
+struct UploadReport {
+  int files_completed = 0;
+  util::Bytes bytes_sent{0};
+  sim::Duration elapsed{};
+  bool window_exhausted = false;
+  int failed_sessions = 0;
+};
+
+struct TransferManagerConfig {
+  bool chunk_resume = false;  // off = deployed behaviour (§VI livelock)
+  int max_session_retries = 2;
+  // Extension in the spirit of §VII's data prioritisation: when set,
+  // higher-priority files jump the queue (stable within a priority), so
+  // fresh science data is not starved behind a multi-day dGPS backlog.
+  // Off = deployed behaviour (strict FIFO).
+  bool priority_ordering = false;
+};
+
+class TransferManager {
+ public:
+  explicit TransferManager(TransferManagerConfig config = {})
+      : config_(config) {}
+
+  void enqueue(std::string name, util::Bytes size, int priority = 0) {
+    UploadFile file{std::move(name), size, util::Bytes{0}, priority};
+    if (!config_.priority_ordering || priority == 0) {
+      // FIFO fast path; priority 0 never overtakes anything.
+      queue_.push_back(std::move(file));
+      return;
+    }
+    // Stable insert before the first strictly-lower-priority entry, but
+    // never ahead of a file with partial progress (abandoning a
+    // half-transferred file would waste its sent bytes).
+    auto it = queue_.begin();
+    while (it != queue_.end() &&
+           (it->priority >= priority || it->sent.count() > 0)) {
+      ++it;
+    }
+    queue_.insert(it, std::move(file));
+  }
+
+  // Invoked once per fully-delivered file (the server ingest hook).
+  void set_completion_callback(
+      std::function<void(const std::string&, util::Bytes)> fn) {
+    on_complete_ = std::move(fn);
+  }
+
+  [[nodiscard]] std::size_t queued_files() const { return queue_.size(); }
+  [[nodiscard]] util::Bytes queued_bytes() const {
+    util::Bytes total{0};
+    for (const auto& file : queue_) total += file.size - file.sent;
+    return total;
+  }
+  [[nodiscard]] bool empty() const { return queue_.empty(); }
+
+  // Uploads as much of the queue as fits in `budget`, oldest file first.
+  // The modem must already be powered; the caller owns advancing simulated
+  // time by report.elapsed (it is part of the daily run's sequence).
+  UploadReport run_window(hw::GprsModem& modem, sim::Duration budget) {
+    UploadReport report;
+    int retries_left = config_.max_session_retries;
+
+    while (!queue_.empty()) {
+      UploadFile& file = queue_.front();
+      const util::Bytes remaining = file.size - file.sent;
+      const sim::Duration budget_left = budget - report.elapsed;
+      if (budget_left <= sim::Duration{0}) {
+        report.window_exhausted = true;
+        break;
+      }
+
+      // Cap the attempt at what the remaining window can carry (the 2-hour
+      // watchdog will cut power regardless, so nothing longer is useful).
+      const double seconds_left = budget_left.to_seconds();
+      const double usable_seconds =
+          seconds_left - modem.config().registration_time.to_seconds();
+      if (usable_seconds <= 0.0) {
+        report.window_exhausted = true;
+        break;
+      }
+      const auto max_bytes = util::Bytes{std::int64_t(
+          usable_seconds * modem.config().rate.value() /
+          (8.0 * modem.config().protocol_overhead))};
+      const util::Bytes attempt_size = std::min(remaining, max_bytes);
+      const bool truncated_by_window = attempt_size < remaining;
+
+      const hw::TransferOutcome outcome = modem.attempt_transfer(attempt_size);
+      report.elapsed += outcome.elapsed;
+      report.bytes_sent += outcome.sent;
+
+      if (!outcome.success && outcome.sent.count() == 0) {
+        // Registration failure or instant drop.
+        ++report.failed_sessions;
+        if (--retries_left < 0) break;
+        continue;
+      }
+
+      const util::Bytes progressed = outcome.sent;
+      if (outcome.success && !truncated_by_window &&
+          progressed == remaining) {
+        // Whole file made it: it leaves the glacier.
+        complete_front(report);
+        continue;
+      }
+
+      // Partial: either the session dropped or the window ran out.
+      if (config_.chunk_resume) {
+        file.sent += progressed;
+        if (file.sent >= file.size) {
+          complete_front(report);
+          continue;
+        }
+      }
+      // Without chunk_resume the partial upload is discarded server-side
+      // (incomplete file), so `sent` stays 0 — §VI's livelock for
+      // single-window-exceeding files.
+      if (truncated_by_window) {
+        report.window_exhausted = true;
+        break;
+      }
+      ++report.failed_sessions;
+      if (--retries_left < 0) break;
+    }
+    return report;
+  }
+
+  [[nodiscard]] const std::deque<UploadFile>& queue() const { return queue_; }
+
+ private:
+  void complete_front(UploadReport& report) {
+    if (on_complete_) on_complete_(queue_.front().name, queue_.front().size);
+    queue_.pop_front();
+    ++report.files_completed;
+  }
+
+  TransferManagerConfig config_;
+  std::deque<UploadFile> queue_;
+  std::function<void(const std::string&, util::Bytes)> on_complete_;
+};
+
+}  // namespace gw::proto

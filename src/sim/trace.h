@@ -1,0 +1,100 @@
+// Trace recorder: named time series + annotated step log.
+//
+// The benches regenerate the paper's figures by sampling model state into a
+// Trace and printing the series (Fig 5: voltage + power state; Fig 6: probe
+// conductivities). Tests use traces to assert on shapes (diurnal maxima near
+// midday, 2-hourly dGPS dips, melt-onset rise).
+#pragma once
+
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace gw::sim {
+
+struct TracePoint {
+  SimTime time;
+  double value = 0.0;
+};
+
+class Trace {
+ public:
+  void add(const std::string& series, SimTime t, double value) {
+    series_[series].push_back(TracePoint{t, value});
+  }
+
+  void annotate(SimTime t, std::string text) {
+    annotations_.push_back({t, std::move(text)});
+  }
+
+  [[nodiscard]] const std::vector<TracePoint>& series(
+      const std::string& name) const {
+    const auto it = series_.find(name);
+    if (it == series_.end()) {
+      throw std::out_of_range("Trace: no series named " + name);
+    }
+    return it->second;
+  }
+
+  [[nodiscard]] bool has_series(const std::string& name) const {
+    return series_.contains(name);
+  }
+
+  [[nodiscard]] std::vector<std::string> series_names() const {
+    std::vector<std::string> names;
+    names.reserve(series_.size());
+    for (const auto& [name, points] : series_) names.push_back(name);
+    return names;
+  }
+
+  struct Annotation {
+    SimTime time;
+    std::string text;
+  };
+  [[nodiscard]] const std::vector<Annotation>& annotations() const {
+    return annotations_;
+  }
+
+  // --- small analysis helpers used by tests and benches -----------------
+
+  [[nodiscard]] double min_value(const std::string& name) const {
+    const auto& points = series(name);
+    double m = points.at(0).value;
+    for (const auto& point : points) m = std::min(m, point.value);
+    return m;
+  }
+
+  [[nodiscard]] double max_value(const std::string& name) const {
+    const auto& points = series(name);
+    double m = points.at(0).value;
+    for (const auto& point : points) m = std::max(m, point.value);
+    return m;
+  }
+
+  [[nodiscard]] double mean_value(const std::string& name) const {
+    const auto& points = series(name);
+    double sum = 0.0;
+    for (const auto& point : points) sum += point.value;
+    return sum / double(points.size());
+  }
+
+  // Value of the last point at or before t (throws if none).
+  [[nodiscard]] double value_at(const std::string& name, SimTime t) const {
+    const auto& points = series(name);
+    const TracePoint* best = nullptr;
+    for (const auto& point : points) {
+      if (point.time <= t) best = &point;
+    }
+    if (best == nullptr) throw std::out_of_range("Trace: no point before t");
+    return best->value;
+  }
+
+ private:
+  std::map<std::string, std::vector<TracePoint>> series_;
+  std::vector<Annotation> annotations_;
+};
+
+}  // namespace gw::sim

@@ -1,0 +1,83 @@
+// Deployment: the full Iceland field system wired together.
+//
+// One object assembles what the paper deployed in 2008: a glacier base
+// station (solar + wind, 7 subglacial probes, dGPS, GPRS), a café reference
+// station (solar + seasonal mains, fixed dGPS, GPRS), the Southampton
+// server mediating them, and the shared environment — all reproducible
+// from a single seed. The benches and examples run a Deployment for N days
+// and read the ledgers and traces off it.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "env/environment.h"
+#include "sim/simulation.h"
+#include "sim/trace.h"
+#include "station/probe_node.h"
+#include "station/southampton.h"
+#include "station/station.h"
+
+namespace gw::station {
+
+struct DeploymentConfig {
+  std::uint64_t seed = 42;
+  // Probes went in during the summer 2008 field season (§V).
+  sim::DateTime start{2008, 9, 1, 0, 0, 0};
+  int probe_count = 7;
+  env::EnvironmentConfig environment;
+  StationConfig base;
+  StationConfig reference;
+  bool trace_enabled = true;
+  sim::Duration trace_interval = sim::minutes(30);
+
+  DeploymentConfig() {
+    base.name = "base";
+    base.role = StationRole::kBaseStation;
+    reference.name = "reference";
+    reference.role = StationRole::kReferenceStation;
+  }
+};
+
+class Deployment {
+ public:
+  explicit Deployment(DeploymentConfig config = {});
+
+  Deployment(const Deployment&) = delete;
+  Deployment& operator=(const Deployment&) = delete;
+
+  // Advances the whole system by `days` simulated days.
+  void run_days(double days);
+
+  [[nodiscard]] sim::Simulation& simulation() { return simulation_; }
+  [[nodiscard]] env::Environment& environment() { return environment_; }
+  [[nodiscard]] SouthamptonServer& server() { return server_; }
+  [[nodiscard]] Station& base() { return *base_; }
+  [[nodiscard]] Station& reference() { return *reference_; }
+  [[nodiscard]] std::vector<std::unique_ptr<ProbeNode>>& probes() {
+    return probes_;
+  }
+
+  [[nodiscard]] int probes_alive() const;
+
+  // 30-minute series: "<station>.voltage", "<station>.state",
+  // "<station>.soc", and "probe<id>.conductivity" — the raw material for
+  // the Fig 5 / Fig 6 benches.
+  [[nodiscard]] sim::Trace& trace() { return trace_; }
+
+  [[nodiscard]] const DeploymentConfig& config() const { return config_; }
+
+ private:
+  void sample_trace();
+
+  DeploymentConfig config_;
+  sim::Simulation simulation_;
+  env::Environment environment_;
+  SouthamptonServer server_;
+  std::unique_ptr<Station> base_;
+  std::unique_ptr<Station> reference_;
+  std::vector<std::unique_ptr<ProbeNode>> probes_;
+  sim::Trace trace_;
+};
+
+}  // namespace gw::station

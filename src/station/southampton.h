@@ -1,0 +1,143 @@
+// The Southampton server.
+//
+// §III: "the communications are managed by a server in Southampton" — it is
+// the only rendezvous between the two stations. It keeps the state-sync
+// ledger (core::SyncServer), queues "special" command scripts and update
+// packages per station, receives the daily data/log uploads, and collects
+// MD5 beacons. The received-data ledger is what the architecture and
+// backlog benches measure as *yield*.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/remote_config.h"
+#include "core/special_command.h"
+#include "core/state_sync.h"
+#include "core/update_manager.h"
+#include "sim/time.h"
+#include "util/units.h"
+
+namespace gw::station {
+
+struct ReceivedFile {
+  std::string station;
+  std::string name;
+  util::Bytes size{0};
+  sim::SimTime received_at{};
+};
+
+class SouthamptonServer {
+ public:
+  // --- state sync -----------------------------------------------------
+
+  [[nodiscard]] core::SyncServer& sync() { return sync_; }
+
+  // --- data ingest ------------------------------------------------------
+
+  void receive_file(const std::string& station, const std::string& name,
+                    util::Bytes size, sim::SimTime at) {
+    received_.push_back(ReceivedFile{station, name, size, at});
+    bytes_by_station_[station] += size;
+  }
+
+  [[nodiscard]] const std::vector<ReceivedFile>& received() const {
+    return received_;
+  }
+
+  [[nodiscard]] util::Bytes bytes_from(const std::string& station) const {
+    const auto it = bytes_by_station_.find(station);
+    return it == bytes_by_station_.end() ? util::Bytes{0} : it->second;
+  }
+
+  [[nodiscard]] int files_from(const std::string& station) const {
+    int n = 0;
+    for (const auto& file : received_) {
+      if (file.station == station) ++n;
+    }
+    return n;
+  }
+
+  // --- special commands ---------------------------------------------------
+
+  void queue_special(const std::string& station,
+                     core::SpecialCommand command) {
+    specials_[station].push_back(std::move(command));
+  }
+
+  [[nodiscard]] std::optional<core::SpecialCommand> fetch_special(
+      const std::string& station) {
+    auto& queue = specials_[station];
+    if (queue.empty()) return std::nullopt;
+    core::SpecialCommand command = queue.front();
+    queue.pop_front();
+    return command;
+  }
+
+  void record_special_result(core::SpecialExecution execution) {
+    special_results_.push_back(std::move(execution));
+  }
+
+  [[nodiscard]] const std::vector<core::SpecialExecution>& special_results()
+      const {
+    return special_results_;
+  }
+
+  // --- remote configuration (§V lesson) -----------------------------------
+
+  void queue_config_update(const std::string& station,
+                           core::ConfigUpdate update) {
+    config_updates_[station].push_back(std::move(update));
+  }
+
+  [[nodiscard]] std::optional<core::ConfigUpdate> fetch_config_update(
+      const std::string& station) {
+    auto& queue = config_updates_[station];
+    if (queue.empty()) return std::nullopt;
+    core::ConfigUpdate update = queue.front();
+    queue.pop_front();
+    return update;
+  }
+
+  // --- code updates ------------------------------------------------------
+
+  void queue_update(const std::string& station, core::UpdatePackage package) {
+    updates_[station].push_back(std::move(package));
+  }
+
+  [[nodiscard]] std::optional<core::UpdatePackage> fetch_update(
+      const std::string& station) {
+    auto& queue = updates_[station];
+    if (queue.empty()) return std::nullopt;
+    core::UpdatePackage package = queue.front();
+    queue.pop_front();
+    return package;
+  }
+
+  void receive_beacon(core::UpdateBeacon beacon, sim::SimTime at) {
+    beacons_.push_back({std::move(beacon), at});
+  }
+
+  struct TimedBeacon {
+    core::UpdateBeacon beacon;
+    sim::SimTime at{};
+  };
+  [[nodiscard]] const std::vector<TimedBeacon>& beacons() const {
+    return beacons_;
+  }
+
+ private:
+  core::SyncServer sync_;
+  std::vector<ReceivedFile> received_;
+  std::map<std::string, util::Bytes> bytes_by_station_;
+  std::map<std::string, std::deque<core::SpecialCommand>> specials_;
+  std::map<std::string, std::deque<core::UpdatePackage>> updates_;
+  std::map<std::string, std::deque<core::ConfigUpdate>> config_updates_;
+  std::vector<core::SpecialExecution> special_results_;
+  std::vector<TimedBeacon> beacons_;
+};
+
+}  // namespace gw::station

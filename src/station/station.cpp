@@ -1,0 +1,612 @@
+#include "station/station.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace gw::station {
+
+using namespace util::literals;
+
+namespace {
+
+// The special-command poll has no typed codec message (it is a bare GET in
+// the deployed system); its size is a constant.
+constexpr util::Bytes kSpecialQuery{768};
+
+// Serialised sizes for packaged data.
+constexpr std::int64_t kSampleRecordBytes = 16;
+constexpr std::int64_t kSensorRecordBytes = 24;
+
+}  // namespace
+
+Station::Station(sim::Simulation& simulation, env::Environment& environment,
+                 SouthamptonServer& server, util::Rng rng,
+                 StationConfig config)
+    : simulation_(simulation),
+      environment_(environment),
+      server_(server),
+      config_(config),
+      rng_(rng),
+      power_(simulation, environment, config.power),
+      board_(simulation, power_, rng.fork("board"), config.gumstix,
+             config.msp),
+      dgps_(simulation, power_, rng.fork("dgps"), config.dgps,
+            &environment.gps_sky()),
+      gprs_(simulation, power_, rng.fork("gprs"), config.gprs),
+      cf_(rng.fork("cf"), config.cf),
+      sensors_(environment, power_, rng.fork("sensors"), config.sensors),
+      serial_(rng.fork("serial"), config.serial),
+      bus_(board_.msp(), rng.fork("i2c"), config.bus),
+      uploads_(config.uploads),
+      policy_(config.policy),
+      watchdog_(simulation, config.watchdog_limit),
+      recovery_(simulation, board_.msp(), dgps_, rng.fork("recovery"),
+                config.recovery),
+      updates_(rng.fork("updates")),
+      log_manager_(logger_, config.log_budget),
+      priority_analyzer_(config.data_priority),
+      state_(config.initial_state),
+      local_voltage_state_(config.initial_state) {
+  power_.on_brown_out([this] { on_brown_out(); });
+  board_.set_cold_boot_handler([this] { on_cold_boot(); });
+  uploads_.set_completion_callback(
+      [this](const std::string& name, util::Bytes size) {
+        server_.receive_file(config_.name, name, size, simulation_.now());
+      });
+}
+
+void Station::add_probe(ProbeNode& probe) { probes_.push_back(&probe); }
+
+void Station::add_charger(std::unique_ptr<power::Charger> charger) {
+  power_.add_charger(std::move(charger));
+}
+
+void Station::start() {
+  if (started_) return;
+  started_ = true;
+  power_.start();
+  board_.set_daily_wake(config_.wake_time_of_day, [this] { on_wake(); });
+  state_history_.push_back({simulation_.now(), state_});
+  recovery_.record_successful_run();  // deployment day counts as a good run
+  schedule_gps_program();
+}
+
+void Station::set_state(core::PowerState state) {
+  if (state == state_) return;
+  state_ = state;
+  state_history_.push_back({simulation_.now(), state_});
+  logger_.info(simulation_.now().millis_since_epoch(), "power",
+               "state -> " + std::to_string(core::to_int(state_)));
+}
+
+// --- daily run ----------------------------------------------------------
+
+void Station::on_wake() {
+  if (sequence_ && sequence_->running()) {
+    ++stats_.windows_missed;  // previous run somehow still alive
+    return;
+  }
+  ++day_counter_;
+  log_manager_.new_day(simulation_.now().millis_since_epoch());
+  // The CF card silently ages (§VII: corruption of unknown cause).
+  cf_.age(sim::days(1));
+  urgent_data_today_ = false;
+  forced_comms_counted_ = false;
+  run_started_ = simulation_.now();
+  run_readings_ = 0;
+  // Rotate the service order daily so a fat backlog on one probe cannot
+  // starve the others forever when the session budget runs out.
+  probe_cursor_ = 0;
+  probe_offset_ = probes_.empty()
+                      ? 0
+                      : std::size_t(day_counter_) % probes_.size();
+  probe_budget_used_ = sim::Duration{0};
+  watchdog_.arm([this] {
+    logger_.error(simulation_.now().millis_since_epoch(), "watchdog",
+                  "2h limit hit during step " + sequence_->current_step());
+    if (sequence_) sequence_->abort();
+  });
+  build_sequence();
+  sequence_->run([this](bool aborted) { finish_run(aborted); });
+}
+
+void Station::build_sequence() {
+  sequence_ = std::make_unique<core::ActionSequence>(simulation_);
+
+  // A one-shot step: runs its body once, consuming the returned duration.
+  const auto one_shot = [](std::function<sim::Duration()> fn) {
+    return [fn = std::move(fn),
+            done = false]() mutable -> std::optional<sim::Duration> {
+      if (done) return std::nullopt;
+      done = true;
+      return fn();
+    };
+  };
+  // Fig 4's "Power state = 0 -> Stop": steps below the gate evaporate when
+  // the station is in survival mode (unless §VII's data-priority override
+  // has earned today a forced session).
+  const auto gated = [this](core::ActionSequence::Chunk fn) {
+    return [this, fn = std::move(fn)]() mutable -> std::optional<sim::Duration> {
+      if (!comms_allowed()) return std::nullopt;
+      return fn();
+    };
+  };
+
+  // Fig 4: "Basestation?" — probe jobs run first and in every power state
+  // (Table 2: winter radio is the good radio).
+  if (config_.role == StationRole::kBaseStation) {
+    sequence_->add_step("get_probe_data", [this] { return probe_chunk(); });
+  }
+
+  sequence_->add_fixed("read_msp", sim::seconds(8),
+                       [this] { read_msp_and_sensors(); });
+  sequence_->add_fixed("calc_power_state", sim::seconds(1),
+                       [this] { compute_local_state(); });
+
+  if (config_.execute_special_before_upload) {
+    // §VI's suggested reordering: remote code runs before the transfer so a
+    // backlog cannot starve it.
+    sequence_->add_step("get_special_early",
+                        gated(one_shot([this] { return run_special(); })));
+  }
+
+  sequence_->add_step("get_gps_files",
+                      gated([this] { return gps_fetch_chunk(); }));
+  sequence_->add_step("package_data", gated(one_shot([this] {
+                        package_data();
+                        return sim::seconds(12);
+                      })));
+  sequence_->add_step("upload_power_state", gated(one_shot([this] {
+                        return upload_power_state();
+                      })));
+  sequence_->add_step("upload_data",
+                      gated(one_shot([this] { return upload_data(); })));
+  sequence_->add_step("get_override",
+                      gated(one_shot([this] { return fetch_override(); })));
+  if (!config_.execute_special_before_upload) {
+    sequence_->add_step("get_special",
+                        gated(one_shot([this] { return run_special(); })));
+  }
+  sequence_->add_step("check_updates", gated(one_shot([this] {
+                        return apply_pending_update();
+                      })));
+  sequence_->add_step("check_config", gated(one_shot([this] {
+                        return apply_pending_config();
+                      })));
+}
+
+void Station::finish_run(bool aborted) {
+  watchdog_.disarm();
+  if (sequence_) last_run_steps_ = sequence_->completed_steps();
+  if (aborted) {
+    ++stats_.runs_aborted;
+  } else {
+    ++stats_.runs_completed;
+    recovery_.record_successful_run();
+    if (local_voltage_state_ == core::PowerState::kState0) {
+      ++stats_.state0_days;
+    }
+  }
+  // New effective state: voltage-derived, clamped by the server override
+  // fetched this run (§III rules).
+  set_state(core::SyncRules::apply(local_voltage_state_, last_override_));
+  if (!power_.browned_out()) {
+    schedule_gps_program();
+  }
+  shutdown_peripherals();
+}
+
+void Station::shutdown_peripherals() {
+  gprs_.power_off();
+  board_.gumstix().power_off();
+  // The dGPS is MSP-scheduled and powers itself off after each reading; the
+  // daily run leaves it alone unless a fetch left it on.
+  if (dgps_.powered()) dgps_.power_off();
+}
+
+// --- step bodies --------------------------------------------------------
+
+std::optional<sim::Duration> Station::probe_chunk() {
+  while (probe_cursor_ < probes_.size()) {
+    ProbeNode* probe =
+        probes_[(probe_cursor_ + probe_offset_) % probes_.size()];
+    ++probe_cursor_;
+
+    const sim::Duration budget_left = std::min(
+        config_.probe_session_budget - probe_budget_used_,
+        watchdog_.remaining());
+    if (budget_left <= sim::Duration{0}) return std::nullopt;
+
+    if (!probe->alive()) {
+      // The base station cannot know the probe died; it queries and times
+      // out ("vanishing offline", §V).
+      const auto timeout = sim::seconds(15);
+      probe_budget_used_ += timeout;
+      logger_.warn(simulation_.now().millis_since_epoch(), "probes",
+                   "probe " + std::to_string(probe->id()) + " silent");
+      return timeout;
+    }
+
+    proto::NackBulkTransfer protocol{probe->link(),
+                                     effective_probe_protocol()};
+    const auto stats =
+        protocol.run(probe->store(), simulation_.now(), budget_left);
+    probe_budget_used_ += stats.airtime;
+    run_readings_ += stats.delivered;
+    stats_.probe_readings_delivered += stats.delivered;
+    // §VII extension: score the fresh data; an urgent batch can justify
+    // communications even in state 0.
+    if (config_.enable_data_priority &&
+        priority_analyzer_.analyze(stats.delivered_readings) ==
+            core::DataPriority::kUrgent) {
+      urgent_data_today_ = true;
+    }
+    if (config_.verbose_probe_logging) {
+      // The deployed binaries logged every frame (§VI's 1 MB problem); the
+      // LogManager budget suppresses the flood after the first few KiB.
+      for (const auto& reading : stats.delivered_readings) {
+        log_manager_.debug(
+            simulation_.now().millis_since_epoch(), "probes",
+            "rx probe=" + std::to_string(reading.probe_id) +
+                " seq=" + std::to_string(reading.seq) +
+                " cond=" + util::format_fixed(reading.conductivity_us, 2) +
+                " pres=" + util::format_fixed(reading.pressure_kpa, 1));
+      }
+    }
+    log_manager_.info(simulation_.now().millis_since_epoch(), "probes",
+                 "probe " + std::to_string(probe->id()) + ": " +
+                     std::to_string(stats.delivered) + "/" +
+                     std::to_string(stats.offered) + " readings, " +
+                     std::to_string(stats.missing_after_stream) +
+                     " missed in stream" + (stats.aborted ? " [ABORT]" : ""));
+    if (stats.airtime > sim::Duration{0}) return stats.airtime;
+  }
+  return std::nullopt;
+}
+
+std::optional<sim::Duration> Station::gps_fetch_chunk() {
+  // Fig 4 gates the GPS fetch on state > 1.
+  if (local_voltage_state_ < core::PowerState::kState2) return std::nullopt;
+  const auto next = dgps_.peek_oldest();
+  if (!next.ok()) {
+    if (dgps_.powered()) dgps_.power_off();
+    return std::nullopt;
+  }
+  const sim::Duration estimate =
+      serial_.transfer_duration(next.value().size);
+  if (watchdog_.remaining() < estimate) {
+    // §VI: the 2-hour cut lands between files; the rest waits for
+    // tomorrow's window.
+    if (dgps_.powered()) dgps_.power_off();
+    return std::nullopt;
+  }
+  if (!dgps_.powered()) {
+    // Powering the receiver for the serial fetch auto-starts a reading
+    // (§II's turn-on-means-record design) — the day gains one bonus file.
+    dgps_.power_on();
+  }
+  const auto outcome = serial_.attempt_transfer(next.value().size);
+  if (!outcome.success) {
+    // §VI's "intermittent RS232 cable": the file stays on the receiver and
+    // the time is burned anyway.
+    log_manager_.warn(simulation_.now().millis_since_epoch(), "gps",
+                      "serial transfer fault on " + next.value().name);
+    return outcome.elapsed;
+  }
+  const auto file = dgps_.fetch_oldest();
+  if (!file.ok()) return std::nullopt;
+  ++stats_.gps_files_fetched;
+  if (cf_.begin_write(file.value().name, file.value().size).ok()) {
+    (void)cf_.commit_write();
+  }
+  uploads_.enqueue(file.value().name, file.value().size);
+  return outcome.elapsed;
+}
+
+void Station::read_msp_and_sensors() {
+  // Over the I2C bus (Fig 2); a dead bus degrades to "no samples today",
+  // which compute_local_state treats as keep-the-current-state.
+  pending_voltages_.clear();
+  const auto samples_result = bus_.read_samples();
+  std::vector<hw::VoltageSample> samples;
+  if (samples_result.ok()) {
+    samples = samples_result.value();
+  } else {
+    log_manager_.error(simulation_.now().millis_since_epoch(), "i2c",
+                       samples_result.error().message);
+  }
+  pending_voltages_.reserve(samples.size());
+  for (const auto& sample : samples) {
+    pending_voltages_.push_back(sample.voltage);
+  }
+  const auto readings = sensors_.read_all(simulation_.now());
+  const auto size = util::Bytes{
+      std::int64_t(samples.size()) * kSampleRecordBytes +
+      std::int64_t(readings.size()) * kSensorRecordBytes};
+  const std::string name =
+      "sensors_" + sim::format_iso(simulation_.now());
+  if (cf_.begin_write(name, size).ok()) (void)cf_.commit_write();
+  sensor_file_ = proto::UploadFile{name, size, util::Bytes{0}};
+}
+
+void Station::compute_local_state() {
+  const auto average = core::daily_average(pending_voltages_);
+  if (!average.has_value()) {
+    // First day after a brown-out: no samples yet; stay put.
+    local_voltage_state_ = state_;
+    return;
+  }
+  daily_averages_.push_back({simulation_.now(), *average});
+  local_voltage_state_ = policy_.state_for(*average);
+  logger_.info(simulation_.now().millis_since_epoch(), "power",
+               "daily avg " + util::format_fixed(average->value(), 2) +
+                   " V -> local state " +
+                   std::to_string(core::to_int(local_voltage_state_)));
+}
+
+void Station::package_data() {
+  const int science = config_.prioritize_science_data ? 1 : 0;
+  if (run_readings_ > 0) {
+    const auto size = util::Bytes{
+        std::int64_t(run_readings_) * proto::kReadingPayload.count()};
+    const std::string name = "probes_" + sim::format_iso(simulation_.now());
+    if (cf_.begin_write(name, size).ok()) (void)cf_.commit_write();
+    uploads_.enqueue(name, size, science);
+  }
+  if (sensor_file_.has_value()) {
+    uploads_.enqueue(sensor_file_->name, sensor_file_->size, science);
+    sensor_file_.reset();
+  }
+  // The daily logfile rides along with the data (§VI).
+  const std::string log_text = logger_.drain();
+  if (!log_text.empty()) {
+    uploads_.enqueue("log_" + sim::format_iso(simulation_.now()),
+                     util::Bytes{std::int64_t(log_text.size())}, science);
+  }
+}
+
+sim::Duration Station::upload_power_state() {
+  gprs_.power_on();
+  // Encode the real message; its wire size is what the modem carries.
+  proto::StateReport report;
+  report.station = config_.name;
+  report.state = local_voltage_state_;
+  report.day_ms = board_.msp().rtc_now().millis_since_epoch();
+  const std::string wire = report.encode();
+  const auto outcome = gprs_.attempt_transfer(proto::wire_size(wire));
+  if (outcome.success) {
+    // The server decodes what actually arrived.
+    const auto decoded = proto::StateReport::decode(wire);
+    if (decoded.ok()) {
+      server_.sync().report_state(decoded.value().station,
+                                  decoded.value().state);
+    }
+  } else {
+    ++stats_.state_upload_failures;
+  }
+  return outcome.elapsed;
+}
+
+sim::Duration Station::upload_data() {
+  gprs_.power_on();
+  // Keep a slice of the window for the remaining control steps.
+  const sim::Duration reserve = sim::minutes(5);
+  const sim::Duration budget = watchdog_.remaining() - reserve;
+  if (budget <= sim::Duration{0}) return sim::Duration{0};
+  const auto report = uploads_.run_window(gprs_, budget);
+  return report.elapsed;
+}
+
+sim::Duration Station::fetch_override() {
+  gprs_.power_on();
+  proto::OverrideRequest request;
+  request.station = config_.name;
+  const std::string request_wire = request.encode();
+  // Request up + response down ride one session.
+  proto::OverrideResponse response;
+  const auto server_override = server_.sync().override_for_client();
+  response.has_override = server_override.has_value();
+  if (server_override.has_value()) response.state = *server_override;
+  const std::string response_wire = response.encode();
+  const auto outcome = gprs_.attempt_transfer(
+      proto::wire_size(request_wire) + proto::wire_size(response_wire));
+  if (outcome.success) {
+    const auto decoded = proto::OverrideResponse::decode(response_wire);
+    if (decoded.ok() && decoded.value().has_override) {
+      last_override_ = decoded.value().state;
+    } else {
+      last_override_.reset();
+    }
+  } else {
+    // §III: fetch failed — rely on the local state.
+    last_override_.reset();
+    ++stats_.override_fetch_failures;
+  }
+  return outcome.elapsed;
+}
+
+sim::Duration Station::run_special() {
+  gprs_.power_on();
+  const auto outcome = gprs_.attempt_transfer(kSpecialQuery);
+  if (!outcome.success) return outcome.elapsed;
+  const auto command = server_.fetch_special(config_.name);
+  if (!command.has_value()) return outcome.elapsed;
+
+  // Execute: output goes into the normal logfile, which only reaches
+  // Southampton with the *next* upload — §VI's 24 h results latency (48 h
+  // with the deployed post-upload ordering, since today's upload already
+  // happened).
+  ++stats_.specials_executed;
+  logger_.info(simulation_.now().millis_since_epoch(), "special",
+               "executed " + command->id + " (" +
+                   std::to_string(command->output_size.count()) +
+                   " B output)");
+  core::SpecialExecution execution;
+  execution.id = command->id;
+  execution.executed_at = simulation_.now();
+  execution.results_visible_at =
+      simulation_.now() +
+      (config_.execute_special_before_upload ? sim::minutes(30)
+                                             : sim::days(1));
+  server_.record_special_result(execution);
+  return outcome.elapsed + command->runtime;
+}
+
+sim::Duration Station::apply_pending_update() {
+  const auto package = server_.fetch_update(config_.name);
+  if (!package.has_value()) return sim::Duration{0};
+  gprs_.power_on();
+  const auto payload_size =
+      util::Bytes{std::int64_t(package->payload.size())};
+  const auto outcome = gprs_.attempt_transfer(payload_size);
+  if (!outcome.success) {
+    // Download died; the package waits in Southampton for a retry.
+    server_.queue_update(config_.name, *package);
+    return outcome.elapsed;
+  }
+  auto beacon = updates_.apply(*package);
+  if (!beacon.verified) {
+    server_.queue_update(config_.name, *package);  // resend tomorrow
+  }
+  // Immediate HTTP GET beacon (§VI): tiny, piggybacks on the session.
+  server_.receive_beacon(beacon, simulation_.now());
+  return outcome.elapsed + sim::seconds(5);
+}
+
+bool Station::comms_allowed() {
+  if (local_voltage_state_ != core::PowerState::kState0) return true;
+  if (!config_.enable_data_priority || !urgent_data_today_) return false;
+  if (power_.battery().soc() < config_.forced_comms_min_soc) return false;
+  // §VII: "forcing communication even if the available power is marginal
+  // if the data warrants it."
+  if (!forced_comms_counted_) {
+    forced_comms_counted_ = true;
+    ++stats_.forced_comms_days;
+    log_manager_.warn(simulation_.now().millis_since_epoch(), "priority",
+                      "urgent data: forcing communications in state 0");
+  }
+  return true;
+}
+
+sim::Duration Station::apply_pending_config() {
+  const auto update = server_.fetch_config_update(config_.name);
+  if (!update.has_value()) return sim::Duration{0};
+  gprs_.power_on();
+  const auto payload =
+      util::Bytes{std::int64_t(update->canonical_encoding().size()) + 180};
+  const auto outcome = gprs_.attempt_transfer(payload);
+  if (!outcome.success) {
+    server_.queue_config_update(config_.name, *update);  // retry tomorrow
+    return outcome.elapsed;
+  }
+  const auto status = remote_config_.apply(*update);
+  if (status.ok()) {
+    log_manager_.info(simulation_.now().millis_since_epoch(), "config",
+                      "applied remote config v" +
+                          std::to_string(update->version));
+  } else {
+    // §V's "reliable robust" requirement: a bad update is refused whole,
+    // the old configuration stays live, and Southampton resends.
+    log_manager_.warn(simulation_.now().millis_since_epoch(), "config",
+                      "rejected remote config: " + status.error().message);
+  }
+  return outcome.elapsed;
+}
+
+proto::NackConfig Station::effective_probe_protocol() const {
+  proto::NackConfig knobs = config_.probe_protocol;
+  knobs.max_rounds = int(remote_config_.get_int("probe.max_rounds",
+                                                knobs.max_rounds));
+  knobs.rerequest_all_ratio = remote_config_.get_double(
+      "probe.rerequest_all_ratio", knobs.rerequest_all_ratio);
+  knobs.legacy_individual_limit = std::size_t(remote_config_.get_int(
+      "probe.individual_limit",
+      std::int64_t(knobs.legacy_individual_limit)));
+  return knobs;
+}
+
+// --- dGPS intra-day program ----------------------------------------------
+
+void Station::schedule_gps_program() {
+  cancel_gps_program();
+  // The Gumstix derives the day plan from the power state and writes it
+  // into MSP430 RAM as a serialised image; the microcontroller executes
+  // what it parses back (a corrupted image yields no program rather than a
+  // garbage one).
+  const auto schedule =
+      core::DaySchedule::for_state(state_, config_.wake_time_of_day);
+  const auto parsed = core::DaySchedule::parse(schedule.serialize());
+  if (!parsed.ok()) {
+    log_manager_.error(simulation_.now().millis_since_epoch(), "schedule",
+                       "RAM schedule image rejected: " +
+                           parsed.error().message);
+    return;
+  }
+  for (const auto& slot : parsed.value().gps_slots) {
+    gps_program_.push_back(simulation_.schedule_in(slot, [this] {
+      if (power_.browned_out()) return;
+      // §II: the microcontroller powers the receiver; it auto-starts a
+      // reading and is cut again on completion — Gumstix never involved.
+      dgps_.power_on([this] { dgps_.power_off(); });
+    }));
+  }
+}
+
+void Station::cancel_gps_program() {
+  for (const auto id : gps_program_) simulation_.cancel(id);
+  gps_program_.clear();
+}
+
+// --- failure and recovery -------------------------------------------------
+
+void Station::on_brown_out() {
+  ++stats_.brown_outs;
+  logger_.error(simulation_.now().millis_since_epoch(), "power",
+                "battery exhausted: brown-out");
+  if (sequence_ && sequence_->running()) sequence_->abort();
+  watchdog_.disarm();
+  cancel_gps_program();
+  cf_.power_cut();
+  gprs_.power_off();
+  dgps_.power_off();
+  set_state(core::PowerState::kState0);
+}
+
+void Station::on_cold_boot() {
+  ++stats_.cold_boots;
+  // First boot after an uncontrolled power loss: scan the card. The field
+  // scan only *detects* (§VII: recovery was done off-site); a corrupted
+  // card is still usable for new files once fsck clears the metadata.
+  const auto scan = cf_.fsck(/*attempt_recovery=*/cf_.metadata_corrupted());
+  if (scan.corrupted_files > 0 || scan.metadata_corrupted) {
+    log_manager_.error(simulation_.now().millis_since_epoch(), "storage",
+                       "cf scan: " + std::to_string(scan.corrupted_files) +
+                           " corrupted files" +
+                           (scan.metadata_corrupted ? ", metadata damaged"
+                                                    : ""));
+  }
+  const auto outcome = recovery_.attempt();
+  switch (outcome) {
+    case core::RecoveryOutcome::kClockTrusted:
+    case core::RecoveryOutcome::kResyncedByGps:
+    case core::RecoveryOutcome::kResyncedByNtp:
+      // §IV: clock restored -> rewrite the RAM schedule and restart in
+      // state 0.
+      local_voltage_state_ = core::PowerState::kState0;
+      set_state(core::PowerState::kState0);
+      board_.set_daily_wake(config_.wake_time_of_day, [this] { on_wake(); });
+      schedule_gps_program();
+      logger_.warn(simulation_.now().millis_since_epoch(), "recovery",
+                   "cold boot: clock restored, state 0");
+      break;
+    case core::RecoveryOutcome::kDeferred:
+      // "sleep for a day and try again."
+      simulation_.schedule_in(recovery_.config().retry_interval, [this] {
+        if (!power_.browned_out()) on_cold_boot();
+      });
+      break;
+  }
+}
+
+}  // namespace gw::station

@@ -1,0 +1,274 @@
+// Glacsweb field station: the Gumsense platform running the paper's
+// daily-cycle software (Fig 4).
+//
+// One class serves both roles — the glacier base station (probes, solar +
+// wind) and the café reference station (fixed dGPS, solar + seasonal
+// mains) — because §II's point is that they run *identical hardware and
+// software* and differ only in peripherals and duties.
+//
+// The daily run, executed when the Gumsense wakes the Gumstix at the
+// scheduled window (12:00 UTC):
+//
+//   [base only] get sub-glacial probe data       (NACK bulk protocol, §V)
+//   get readings from MSP (voltage samples + sensor scan)
+//   calculate local power state                  (Table 2 on daily average)
+//   state 0  -> stop (no communications)
+//   state >1 -> fetch dGPS files to the CF card  (28 s each, §VI)
+//   package data to be sent
+//   upload power state                           (server sync, §III)
+//   upload data (+ logfile)                      (file-by-file, §VI)
+//   get override power state                     (min rule + clamps)
+//   get special -> execute                       (§V remote config)
+//
+// A 2-hour watchdog armed at wake aborts the sequence wherever it stands
+// (§VI); brown-out kills everything and the §IV cold-boot recovery path
+// restores clock, schedule, and state 0 when charge returns.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/action_sequence.h"
+#include "core/data_priority.h"
+#include "core/log_manager.h"
+#include "core/power_policy.h"
+#include "core/recovery.h"
+#include "core/remote_config.h"
+#include "core/schedule.h"
+#include "core/special_command.h"
+#include "core/state_sync.h"
+#include "core/update_manager.h"
+#include "core/watchdog.h"
+#include "env/environment.h"
+#include "hw/cf_card.h"
+#include "hw/dgps.h"
+#include "hw/gprs_modem.h"
+#include "hw/gumsense.h"
+#include "hw/gumsense_bus.h"
+#include "hw/sensors.h"
+#include "hw/serial_link.h"
+#include "power/chargers.h"
+#include "power/power_system.h"
+#include "proto/bulk_transfer.h"
+#include "proto/messages.h"
+#include "proto/transfer_manager.h"
+#include "sim/simulation.h"
+#include "station/probe_node.h"
+#include "station/southampton.h"
+#include "util/logging.h"
+
+namespace gw::station {
+
+enum class StationRole { kBaseStation, kReferenceStation };
+
+struct StationConfig {
+  std::string name = "base";
+  StationRole role = StationRole::kBaseStation;
+  sim::Duration wake_time_of_day = sim::hours(12);  // daily window, §I
+  sim::Duration watchdog_limit = sim::hours(2);     // §VI
+  core::PowerState initial_state = core::PowerState::kState2;
+
+  // §VI suggested fix: run the special *before* the data upload so a big
+  // backlog cannot starve remote commands. Off = deployed (Fig 4) order.
+  bool execute_special_before_upload = false;
+
+  // Slice of the watchdog window reserved for probe sessions.
+  sim::Duration probe_session_budget = sim::minutes(30);
+
+  core::PowerPolicyConfig policy;
+  core::RecoveryConfig recovery;
+  power::PowerSystemConfig power;
+  hw::GumstixConfig gumstix;
+  hw::Msp430Config msp;
+  hw::DgpsConfig dgps;
+  hw::GprsConfig gprs;
+  hw::CfCardConfig cf;
+  hw::SensorSuiteConfig sensors;
+  hw::SerialLinkConfig serial;
+  hw::GumsenseBusConfig bus;
+  proto::TransferManagerConfig uploads;
+  proto::NackConfig probe_protocol;
+  core::LogBudgetConfig log_budget;
+  // Log every received probe reading at debug level (the deployed binaries'
+  // behaviour that produced >1 MB logs, §VI). The LogManager's budget is
+  // what keeps it affordable.
+  bool verbose_probe_logging = true;
+  // §VII extension: analyse the day's probe data and force a GPRS session
+  // in state 0 when the data is urgent (melt onset, pressure spike). Off =
+  // deployed behaviour.
+  bool enable_data_priority = false;
+  // §VII-adjacent extension: science data (probe readings, sensors, log)
+  // jumps ahead of dGPS backlog files in the upload queue. Requires
+  // uploads.priority_ordering; this flag sets the priorities.
+  bool prioritize_science_data = false;
+  core::DataPriorityConfig data_priority;
+  // Forced communication still needs a sliver of battery.
+  double forced_comms_min_soc = 0.05;
+};
+
+struct StationStats {
+  int runs_completed = 0;
+  int runs_aborted = 0;        // watchdog expiries mid-run
+  int windows_missed = 0;      // wakes skipped (brown-out / no schedule)
+  int state0_days = 0;         // runs that stopped at the state-0 gate
+  int brown_outs = 0;
+  int cold_boots = 0;
+  int gps_files_fetched = 0;
+  std::size_t probe_readings_delivered = 0;
+  int specials_executed = 0;
+  int override_fetch_failures = 0;
+  int state_upload_failures = 0;
+  int forced_comms_days = 0;  // §VII data-priority override engaged
+};
+
+class Station {
+ public:
+  Station(sim::Simulation& simulation, env::Environment& environment,
+          SouthamptonServer& server, util::Rng rng, StationConfig config);
+
+  // Non-copyable: owns device graph wired by reference.
+  Station(const Station&) = delete;
+  Station& operator=(const Station&) = delete;
+
+  // Base-station duty: attach the subglacial probes it serves.
+  void add_probe(ProbeNode& probe);
+
+  // Installs chargers (role-specific harvest mix) — call before start().
+  void add_charger(std::unique_ptr<power::Charger> charger);
+
+  // Arms the daily schedule and the power tick. Call once.
+  void start();
+
+  // --- observation -------------------------------------------------------
+
+  [[nodiscard]] core::PowerState current_state() const { return state_; }
+  [[nodiscard]] const StationStats& stats() const { return stats_; }
+  [[nodiscard]] power::PowerSystem& power() { return power_; }
+  [[nodiscard]] hw::Gumsense& board() { return board_; }
+  [[nodiscard]] hw::DgpsReceiver& dgps() { return dgps_; }
+  [[nodiscard]] hw::GprsModem& gprs() { return gprs_; }
+  [[nodiscard]] hw::CompactFlashCard& cf() { return cf_; }
+  [[nodiscard]] hw::SerialLink& serial() { return serial_; }
+  [[nodiscard]] hw::GumsenseBus& bus() { return bus_; }
+  [[nodiscard]] proto::TransferManager& uploads() { return uploads_; }
+  [[nodiscard]] util::Logger& logger() { return logger_; }
+  [[nodiscard]] core::LogManager& log_manager() { return log_manager_; }
+  [[nodiscard]] core::DataPriorityAnalyzer& priority_analyzer() {
+    return priority_analyzer_;
+  }
+  [[nodiscard]] core::RemoteConfig& remote_config() { return remote_config_; }
+  [[nodiscard]] core::RecoveryManager& recovery() { return recovery_; }
+  [[nodiscard]] core::UpdateManager& updates() { return updates_; }
+  [[nodiscard]] core::Watchdog& watchdog() { return watchdog_; }
+  [[nodiscard]] const std::string& name() const { return config_.name; }
+  [[nodiscard]] const StationConfig& config() const { return config_; }
+
+  // (time, state) transitions, newest last — the Fig 5 state series.
+  struct StateChange {
+    sim::SimTime at;
+    core::PowerState state;
+  };
+  [[nodiscard]] const std::vector<StateChange>& state_history() const {
+    return state_history_;
+  }
+
+  // Daily voltage averages as computed by the station (§III).
+  struct DailyAverage {
+    sim::SimTime at;
+    util::Volts average;
+  };
+  [[nodiscard]] const std::vector<DailyAverage>& daily_averages() const {
+    return daily_averages_;
+  }
+
+  // Steps fully completed by the most recent daily run (Fig 4 trace).
+  [[nodiscard]] const std::vector<std::string>& last_run_steps() const {
+    return last_run_steps_;
+  }
+
+ private:
+  // --- daily run (Fig 4) -------------------------------------------------
+  void on_wake();
+  void build_sequence();
+  void finish_run(bool aborted);
+  void shutdown_peripherals();
+
+  // Step bodies (chunk functions live inside build_sequence; these helpers
+  // do the per-chunk work).
+  std::optional<sim::Duration> probe_chunk();
+  std::optional<sim::Duration> gps_fetch_chunk();
+  void read_msp_and_sensors();
+  void compute_local_state();
+  void package_data();
+  sim::Duration upload_power_state();
+  sim::Duration upload_data();
+  sim::Duration fetch_override();
+  sim::Duration run_special();
+  sim::Duration apply_pending_update();
+  sim::Duration apply_pending_config();
+  // Probe-protocol knobs after remote-config overlay (§V: "try different
+  // strategies for retrieving data").
+  [[nodiscard]] proto::NackConfig effective_probe_protocol() const;
+
+  // --- dGPS intra-day program (MSP430-driven, §II) -----------------------
+  void schedule_gps_program();
+  void cancel_gps_program();
+
+  // Fig 4's state-0 gate, plus the §VII data-priority exception.
+  [[nodiscard]] bool comms_allowed();
+
+  // --- failure / recovery -------------------------------------------------
+  void on_brown_out();
+  void on_cold_boot();
+  void set_state(core::PowerState state);
+
+  sim::Simulation& simulation_;
+  env::Environment& environment_;
+  SouthamptonServer& server_;
+  StationConfig config_;
+  util::Rng rng_;
+
+  power::PowerSystem power_;
+  hw::Gumsense board_;
+  hw::DgpsReceiver dgps_;
+  hw::GprsModem gprs_;
+  hw::CompactFlashCard cf_;
+  hw::SensorSuite sensors_;
+  hw::SerialLink serial_;
+  hw::GumsenseBus bus_;
+  proto::TransferManager uploads_;
+  core::PowerPolicy policy_;
+  core::Watchdog watchdog_;
+  core::RecoveryManager recovery_;
+  core::UpdateManager updates_;
+  util::Logger logger_;
+  core::LogManager log_manager_;
+  core::DataPriorityAnalyzer priority_analyzer_;
+  core::RemoteConfig remote_config_;
+  bool urgent_data_today_ = false;
+  bool forced_comms_counted_ = false;
+
+  std::vector<ProbeNode*> probes_;
+  std::size_t probe_cursor_ = 0;      // per-run iteration over probes_
+  std::size_t probe_offset_ = 0;      // daily round-robin start
+  sim::SimTime run_started_{};
+  sim::Duration probe_budget_used_{};
+  std::size_t run_readings_ = 0;      // probe readings fetched this run
+  std::vector<util::Volts> pending_voltages_;
+  std::optional<proto::UploadFile> sensor_file_;
+  core::PowerState state_;
+  core::PowerState local_voltage_state_;
+  std::optional<core::PowerState> last_override_;
+  std::unique_ptr<core::ActionSequence> sequence_;
+  std::vector<sim::EventId> gps_program_;
+  std::vector<StateChange> state_history_;
+  std::vector<DailyAverage> daily_averages_;
+  std::vector<std::string> last_run_steps_;
+  StationStats stats_;
+  int day_counter_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace gw::station

@@ -1,0 +1,19 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected).
+//
+// Used by the probe radio protocol to detect "broken" packets (§V: the base
+// station records missing or broken data packets for later re-request) and by
+// the storage models to detect CF-card sector corruption.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace gw::util {
+
+[[nodiscard]] std::uint32_t crc32(std::span<const std::uint8_t> data,
+                                  std::uint32_t seed = 0);
+[[nodiscard]] std::uint32_t crc32(std::string_view data,
+                                  std::uint32_t seed = 0);
+
+}  // namespace gw::util

@@ -1,0 +1,44 @@
+// MD5 message digest (RFC 1321), self-contained.
+//
+// The deployment verified remote code updates by MD5-summing the downloaded
+// file on the station and beaconing the digest back over HTTP GET (§VI).
+// core::UpdateManager reproduces that pipeline, so the library carries its
+// own MD5 — there is no external crypto dependency in the repository.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace gw::util {
+
+class Md5 {
+ public:
+  using Digest = std::array<std::uint8_t, 16>;
+
+  Md5();
+
+  void update(std::span<const std::uint8_t> data);
+  void update(std::string_view data);
+
+  // Finalises and returns the digest. The object must not be updated after.
+  [[nodiscard]] Digest finish();
+
+  // One-shot helpers.
+  [[nodiscard]] static Digest digest(std::string_view data);
+  [[nodiscard]] static std::string hex_digest(std::string_view data);
+  [[nodiscard]] static std::string to_hex(const Digest& digest);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::uint32_t state_[4];
+  std::uint64_t total_bytes_ = 0;
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffered_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace gw::util

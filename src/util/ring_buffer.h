@@ -1,0 +1,68 @@
+// Fixed-capacity ring buffer.
+//
+// Mirrors the MSP430's RAM-resident sample store: the microcontroller logs a
+// battery-voltage sample every 30 minutes (48/day) and the Gumstix drains
+// them once a day (§III). Overwrite-oldest semantics match a bounded
+// embedded log; contents are lost wholesale on brown-out, which the Msp430
+// model exploits by simply clearing the buffer.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace gw::util {
+
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity)
+      : storage_(capacity), capacity_(capacity) {
+    if (capacity == 0) throw std::invalid_argument("RingBuffer capacity 0");
+  }
+
+  void push(T value) {
+    storage_[head_] = std::move(value);
+    head_ = (head_ + 1) % capacity_;
+    if (size_ < capacity_) {
+      ++size_;
+    } else {
+      tail_ = (tail_ + 1) % capacity_;  // overwrote the oldest element
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] bool full() const { return size_ == capacity_; }
+
+  // Oldest-first access; index 0 is the oldest retained element.
+  [[nodiscard]] const T& at(std::size_t index) const {
+    if (index >= size_) throw std::out_of_range("RingBuffer::at");
+    return storage_[(tail_ + index) % capacity_];
+  }
+
+  // Drain oldest-first into a vector and clear.
+  [[nodiscard]] std::vector<T> drain() {
+    std::vector<T> out;
+    out.reserve(size_);
+    for (std::size_t i = 0; i < size_; ++i) out.push_back(at(i));
+    clear();
+    return out;
+  }
+
+  void clear() {
+    head_ = 0;
+    tail_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  std::vector<T> storage_;
+  std::size_t capacity_;
+  std::size_t head_ = 0;
+  std::size_t tail_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace gw::util

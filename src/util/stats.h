@@ -1,0 +1,80 @@
+// Summary statistics over samples — used by benches (series diagnostics),
+// tests (distribution checks) and the field report.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace gw::util {
+
+class Summary {
+ public:
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+
+  [[nodiscard]] double mean() const {
+    require_data();
+    double sum = 0.0;
+    for (const double x : samples_) sum += x;
+    return sum / double(samples_.size());
+  }
+
+  // Sample standard deviation (n-1); 0 for a single sample.
+  [[nodiscard]] double stddev() const {
+    require_data();
+    if (samples_.size() < 2) return 0.0;
+    const double m = mean();
+    double sum_sq = 0.0;
+    for (const double x : samples_) sum_sq += (x - m) * (x - m);
+    return std::sqrt(sum_sq / double(samples_.size() - 1));
+  }
+
+  [[nodiscard]] double min() const {
+    require_data();
+    return *std::min_element(samples_.begin(), samples_.end());
+  }
+
+  [[nodiscard]] double max() const {
+    require_data();
+    return *std::max_element(samples_.begin(), samples_.end());
+  }
+
+  // Linear-interpolated percentile, p in [0, 100].
+  [[nodiscard]] double percentile(double p) const {
+    require_data();
+    if (p < 0.0 || p > 100.0) {
+      throw std::invalid_argument("percentile out of range");
+    }
+    sort();
+    const double rank = p / 100.0 * double(samples_.size() - 1);
+    const auto lo = std::size_t(rank);
+    const auto hi = std::min(lo + 1, samples_.size() - 1);
+    const double fraction = rank - double(lo);
+    return samples_[lo] + fraction * (samples_[hi] - samples_[lo]);
+  }
+
+  [[nodiscard]] double median() const { return percentile(50.0); }
+
+ private:
+  void require_data() const {
+    if (samples_.empty()) throw std::logic_error("Summary: no samples");
+  }
+  void sort() const {
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+  }
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace gw::util

@@ -1,0 +1,24 @@
+// Small string helpers shared across modules (formatting tables for benches,
+// splitting the key=value payloads of the server API, fixed-width numbers).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gw::util {
+
+[[nodiscard]] std::vector<std::string> split(std::string_view text, char sep);
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+[[nodiscard]] std::string trim(std::string_view text);
+[[nodiscard]] bool starts_with(std::string_view text, std::string_view prefix);
+
+// Fixed-precision double formatting ("12.47"), locale-independent.
+[[nodiscard]] std::string format_fixed(double value, int decimals);
+
+// Left-pads `text` with spaces to `width` (no-op if already wider).
+[[nodiscard]] std::string pad_left(std::string_view text, std::size_t width);
+[[nodiscard]] std::string pad_right(std::string_view text, std::size_t width);
+
+}  // namespace gw::util

@@ -1,0 +1,216 @@
+// Strong value types for physical quantities.
+//
+// Every quantity in the simulator (battery voltage, modem draw, harvested
+// energy, data volumes, link rates) is carried in one of these wrappers so a
+// Watts value can never silently be added to a Volts value. The wrappers are
+// zero-overhead: a single double (or int64 for Bytes) with inline arithmetic.
+//
+// Cross-type physics (W = V * A, J = W * s, Ah = A * h, ...) is defined
+// explicitly below; anything not defined is intentionally a compile error.
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+
+namespace gw::util {
+
+// CRTP base for a double-valued quantity: same-type arithmetic, scalar
+// scaling, and ordering. Derived types add only cross-type operators.
+template <typename Derived>
+class Quantity {
+ public:
+  constexpr Quantity() = default;
+  constexpr explicit Quantity(double value) : value_(value) {}
+
+  [[nodiscard]] constexpr double value() const { return value_; }
+
+  friend constexpr Derived operator+(Derived a, Derived b) {
+    return Derived{a.value() + b.value()};
+  }
+  friend constexpr Derived operator-(Derived a, Derived b) {
+    return Derived{a.value() - b.value()};
+  }
+  friend constexpr Derived operator-(Derived a) { return Derived{-a.value()}; }
+  friend constexpr Derived operator*(Derived a, double s) {
+    return Derived{a.value() * s};
+  }
+  friend constexpr Derived operator*(double s, Derived a) {
+    return Derived{a.value() * s};
+  }
+  friend constexpr Derived operator/(Derived a, double s) {
+    return Derived{a.value() / s};
+  }
+  // Ratio of two like quantities is a plain number.
+  friend constexpr double operator/(Derived a, Derived b) {
+    return a.value() / b.value();
+  }
+  friend constexpr auto operator<=>(Derived a, Derived b) {
+    return a.value() <=> b.value();
+  }
+  friend constexpr bool operator==(Derived a, Derived b) {
+    return a.value() == b.value();
+  }
+
+  constexpr Derived& operator+=(Derived b) {
+    value_ += b.value();
+    return static_cast<Derived&>(*this);
+  }
+  constexpr Derived& operator-=(Derived b) {
+    value_ -= b.value();
+    return static_cast<Derived&>(*this);
+  }
+
+ private:
+  double value_ = 0.0;
+};
+
+class Volts : public Quantity<Volts> {
+  using Quantity::Quantity;
+};
+class Amps : public Quantity<Amps> {
+  using Quantity::Quantity;
+};
+class Watts : public Quantity<Watts> {
+  using Quantity::Quantity;
+};
+class Joules : public Quantity<Joules> {
+  using Quantity::Quantity;
+};
+class AmpHours : public Quantity<AmpHours> {
+  using Quantity::Quantity;
+};
+class WattHours : public Quantity<WattHours> {
+  using Quantity::Quantity;
+};
+class Celsius : public Quantity<Celsius> {
+  using Quantity::Quantity;
+};
+class Metres : public Quantity<Metres> {
+  using Quantity::Quantity;
+};
+class MetresPerSecond : public Quantity<MetresPerSecond> {
+  using Quantity::Quantity;
+};
+// Irradiance (solar flux density).
+class WattsPerSquareMetre : public Quantity<WattsPerSquareMetre> {
+  using Quantity::Quantity;
+};
+// Electrical conductivity of melt water, microsiemens (paper Fig 6).
+class MicroSiemens : public Quantity<MicroSiemens> {
+  using Quantity::Quantity;
+};
+class Ohms : public Quantity<Ohms> {
+  using Quantity::Quantity;
+};
+class BitsPerSecond : public Quantity<BitsPerSecond> {
+  using Quantity::Quantity;
+};
+
+// --- cross-type physics ---------------------------------------------------
+
+constexpr Watts operator*(Volts v, Amps a) { return Watts{v.value() * a.value()}; }
+constexpr Watts operator*(Amps a, Volts v) { return v * a; }
+constexpr Amps operator/(Watts w, Volts v) { return Amps{w.value() / v.value()}; }
+constexpr Volts operator/(Watts w, Amps a) { return Volts{w.value() / a.value()}; }
+constexpr Volts operator*(Amps a, Ohms r) { return Volts{a.value() * r.value()}; }
+constexpr Volts operator*(Ohms r, Amps a) { return a * r; }
+
+// Energy from power over a duration in seconds.
+constexpr Joules energy(Watts p, double seconds) {
+  return Joules{p.value() * seconds};
+}
+// Charge from current over a duration in hours.
+constexpr AmpHours charge(Amps i, double hours) {
+  return AmpHours{i.value() * hours};
+}
+
+constexpr WattHours to_watt_hours(Joules j) { return WattHours{j.value() / 3600.0}; }
+constexpr Joules to_joules(WattHours wh) { return Joules{wh.value() * 3600.0}; }
+constexpr Joules to_joules(AmpHours ah, Volts nominal) {
+  return Joules{ah.value() * nominal.value() * 3600.0};
+}
+
+// --- data volumes ----------------------------------------------------------
+
+// Data size in bytes. Integer-valued: a transfer either moved a byte or did
+// not; fractional bytes hide accounting bugs.
+class Bytes {
+ public:
+  constexpr Bytes() = default;
+  constexpr explicit Bytes(std::int64_t count) : count_(count) {}
+
+  [[nodiscard]] constexpr std::int64_t count() const { return count_; }
+  [[nodiscard]] constexpr std::int64_t bits() const { return count_ * 8; }
+  [[nodiscard]] constexpr double kib() const { return double(count_) / 1024.0; }
+  [[nodiscard]] constexpr double mib() const {
+    return double(count_) / (1024.0 * 1024.0);
+  }
+
+  friend constexpr Bytes operator+(Bytes a, Bytes b) {
+    return Bytes{a.count_ + b.count_};
+  }
+  friend constexpr Bytes operator-(Bytes a, Bytes b) {
+    return Bytes{a.count_ - b.count_};
+  }
+  friend constexpr auto operator<=>(Bytes, Bytes) = default;
+  constexpr Bytes& operator+=(Bytes b) {
+    count_ += b.count_;
+    return *this;
+  }
+  constexpr Bytes& operator-=(Bytes b) {
+    count_ -= b.count_;
+    return *this;
+  }
+
+ private:
+  std::int64_t count_ = 0;
+};
+
+constexpr Bytes kib(double k) { return Bytes{std::int64_t(k * 1024.0)}; }
+constexpr Bytes mib(double m) { return Bytes{std::int64_t(m * 1024.0 * 1024.0)}; }
+
+// Ideal transfer time for `size` at `rate`, in seconds.
+constexpr double transfer_seconds(Bytes size, BitsPerSecond rate) {
+  return double(size.bits()) / rate.value();
+}
+
+// --- literals --------------------------------------------------------------
+
+namespace literals {
+constexpr Volts operator""_V(long double v) { return Volts{double(v)}; }
+constexpr Volts operator""_V(unsigned long long v) { return Volts{double(v)}; }
+constexpr Amps operator""_A(long double v) { return Amps{double(v)}; }
+constexpr Amps operator""_mA(long double v) { return Amps{double(v) / 1000.0}; }
+constexpr Amps operator""_mA(unsigned long long v) {
+  return Amps{double(v) / 1000.0};
+}
+constexpr Watts operator""_W(long double v) { return Watts{double(v)}; }
+constexpr Watts operator""_W(unsigned long long v) { return Watts{double(v)}; }
+constexpr Watts operator""_mW(long double v) { return Watts{double(v) / 1000.0}; }
+constexpr Watts operator""_mW(unsigned long long v) {
+  return Watts{double(v) / 1000.0};
+}
+constexpr AmpHours operator""_Ah(long double v) { return AmpHours{double(v)}; }
+constexpr AmpHours operator""_Ah(unsigned long long v) {
+  return AmpHours{double(v)};
+}
+constexpr Celsius operator""_degC(long double v) { return Celsius{double(v)}; }
+constexpr Celsius operator""_degC(unsigned long long v) {
+  return Celsius{double(v)};
+}
+constexpr BitsPerSecond operator""_bps(unsigned long long v) {
+  return BitsPerSecond{double(v)};
+}
+constexpr Bytes operator""_B(unsigned long long v) {
+  return Bytes{std::int64_t(v)};
+}
+constexpr Bytes operator""_KiB(unsigned long long v) {
+  return Bytes{std::int64_t(v) * 1024};
+}
+constexpr Bytes operator""_MiB(unsigned long long v) {
+  return Bytes{std::int64_t(v) * 1024 * 1024};
+}
+}  // namespace literals
+
+}  // namespace gw::util

@@ -1,0 +1,150 @@
+#include "core/action_sequence.h"
+
+#include <gtest/gtest.h>
+
+#include "core/watchdog.h"
+
+namespace gw::core {
+namespace {
+
+TEST(ActionSequence, RunsStepsInOrder) {
+  sim::Simulation simulation;
+  ActionSequence sequence{simulation};
+  std::vector<std::string> order;
+  sequence.add_fixed("a", sim::seconds(10), [&] { order.push_back("a"); });
+  sequence.add_fixed("b", sim::seconds(20), [&] { order.push_back("b"); });
+  sequence.add_fixed("c", sim::seconds(5), [&] { order.push_back("c"); });
+  bool done = false;
+  bool was_aborted = true;
+  sequence.run([&](bool aborted) {
+    done = true;
+    was_aborted = aborted;
+  });
+  simulation.run_all();
+  EXPECT_TRUE(done);
+  EXPECT_FALSE(was_aborted);
+  EXPECT_EQ(order, (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(sequence.completed_steps().size(), 3u);
+}
+
+TEST(ActionSequence, TimeAdvancesByStepDurations) {
+  sim::Simulation simulation;
+  ActionSequence sequence{simulation};
+  sequence.add_fixed("a", sim::seconds(10));
+  sequence.add_fixed("b", sim::seconds(20));
+  sim::SimTime finished{};
+  sequence.run([&](bool) { finished = simulation.now(); });
+  simulation.run_all();
+  EXPECT_EQ(finished, sim::kEpoch + sim::seconds(30));
+}
+
+TEST(ActionSequence, ChunkedStepRunsUntilExhausted) {
+  sim::Simulation simulation;
+  ActionSequence sequence{simulation};
+  int files = 5;
+  int fetched = 0;
+  sequence.add_step("fetch_gps_files",
+                    [&]() -> std::optional<sim::Duration> {
+                      if (files == 0) return std::nullopt;
+                      --files;
+                      ++fetched;
+                      return sim::seconds(28);
+                    });
+  sequence.run([](bool) {});
+  simulation.run_all();
+  EXPECT_EQ(fetched, 5);
+  EXPECT_EQ(simulation.now(), sim::kEpoch + sim::seconds(5 * 28));
+}
+
+TEST(ActionSequence, AbortStopsMidSequence) {
+  sim::Simulation simulation;
+  ActionSequence sequence{simulation};
+  int chunks = 0;
+  sequence.add_step("endless", [&]() -> std::optional<sim::Duration> {
+    ++chunks;
+    return sim::minutes(1);
+  });
+  bool done = false;
+  bool was_aborted = false;
+  sequence.run([&](bool aborted) {
+    done = true;
+    was_aborted = aborted;
+  });
+  simulation.schedule_in(sim::minutes(10) + sim::seconds(1),
+                         [&] { sequence.abort(); });
+  simulation.run_until(simulation.now() + sim::hours(1));
+  EXPECT_TRUE(done);
+  EXPECT_TRUE(was_aborted);
+  EXPECT_EQ(chunks, 11);  // 10 completed minutes + the in-flight chunk
+  EXPECT_FALSE(sequence.running());
+}
+
+TEST(ActionSequence, WatchdogAbortIntegration) {
+  // The deployed pattern: MSP arms a 2 h watchdog; expiry aborts the run.
+  sim::Simulation simulation;
+  Watchdog watchdog{simulation};
+  ActionSequence sequence{simulation};
+  int uploads = 0;
+  sequence.add_step("upload_backlog", [&]() -> std::optional<sim::Duration> {
+    ++uploads;
+    return sim::minutes(5);  // one file per chunk, endless backlog
+  });
+  bool aborted = false;
+  watchdog.arm([&] { sequence.abort(); });
+  sequence.run([&](bool a) { aborted = a; });
+  simulation.run_until(simulation.now() + sim::hours(3));
+  EXPECT_TRUE(aborted);
+  // 2 h / 5 min = 24 chunks (+1 in flight when the axe fell).
+  EXPECT_NEAR(uploads, 24, 1);
+}
+
+TEST(ActionSequence, EmptySequenceCompletesImmediately) {
+  sim::Simulation simulation;
+  ActionSequence sequence{simulation};
+  bool done = false;
+  sequence.run([&](bool aborted) {
+    done = true;
+    EXPECT_FALSE(aborted);
+  });
+  EXPECT_TRUE(done);  // no events needed
+}
+
+TEST(ActionSequence, ZeroChunkStepSkipsWithoutTime) {
+  sim::Simulation simulation;
+  ActionSequence sequence{simulation};
+  bool ran = false;
+  sequence.add_step("nothing_to_do",
+                    []() -> std::optional<sim::Duration> { return std::nullopt; });
+  sequence.add_fixed("real", sim::seconds(1), [&] { ran = true; });
+  sequence.run([](bool) {});
+  simulation.run_all();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(simulation.now(), sim::kEpoch + sim::seconds(1));
+}
+
+TEST(ActionSequence, CurrentStepTracksProgress) {
+  sim::Simulation simulation;
+  ActionSequence sequence{simulation};
+  sequence.add_fixed("first", sim::seconds(10));
+  sequence.add_fixed("second", sim::seconds(10));
+  sequence.run([](bool) {});
+  EXPECT_EQ(sequence.current_step(), "first");
+  simulation.run_until(simulation.now() + sim::seconds(11));
+  EXPECT_EQ(sequence.current_step(), "second");
+  simulation.run_all();
+  EXPECT_EQ(sequence.current_step(), "(idle)");
+}
+
+TEST(ActionSequence, AbortAfterCompletionIsNoOp) {
+  sim::Simulation simulation;
+  ActionSequence sequence{simulation};
+  sequence.add_fixed("a", sim::seconds(1));
+  int done_calls = 0;
+  sequence.run([&](bool) { ++done_calls; });
+  simulation.run_all();
+  sequence.abort();
+  EXPECT_EQ(done_calls, 1);
+}
+
+}  // namespace
+}  // namespace gw::core

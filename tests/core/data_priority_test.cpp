@@ -1,0 +1,127 @@
+#include "core/data_priority.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace gw::core {
+namespace {
+
+std::vector<proto::ProbeReading> baseline_batch(util::Rng& rng, int n,
+                                                double mean_us = 1.0,
+                                                double sigma_us = 0.25) {
+  std::vector<proto::ProbeReading> batch;
+  for (int i = 0; i < n; ++i) {
+    proto::ProbeReading reading;
+    reading.probe_id = 21;
+    reading.conductivity_us = mean_us + sigma_us * rng.normal();
+    reading.pressure_kpa = 600.0 + 8.0 * rng.normal();
+    batch.push_back(reading);
+  }
+  return batch;
+}
+
+TEST(DataPriority, BaselineIsRoutine) {
+  DataPriorityAnalyzer analyzer;
+  util::Rng rng{1};
+  const auto batch = baseline_batch(rng, 500);
+  EXPECT_EQ(analyzer.analyze(batch), DataPriority::kRoutine);
+  EXPECT_EQ(analyzer.urgent_batches(), 0);
+}
+
+TEST(DataPriority, SustainedLargeStepEscalatesToUrgent) {
+  DataPriorityAnalyzer analyzer;
+  util::Rng rng{2};
+  (void)analyzer.analyze(baseline_batch(rng, 300));
+  // Melt onset: conductivity jumps from ~1 to ~8 uS and stays there.
+  const auto onset = baseline_batch(rng, 50, 8.0, 0.5);
+  EXPECT_EQ(analyzer.analyze(onset), DataPriority::kUrgent);
+  EXPECT_GE(analyzer.urgent_batches(), 1);
+}
+
+TEST(DataPriority, SingleOutlierIsNotUrgent) {
+  DataPriorityAnalyzer analyzer;
+  util::Rng rng{3};
+  (void)analyzer.analyze(baseline_batch(rng, 300));
+  // One corrupted-looking spike must not force a session (the sustain
+  // requirement): it rates at most kInteresting.
+  proto::ProbeReading spike;
+  spike.probe_id = 21;
+  spike.conductivity_us = 40.0;
+  spike.pressure_kpa = 600.0;
+  const auto priority = analyzer.analyze(
+      std::span<const proto::ProbeReading>{&spike, 1});
+  EXPECT_NE(priority, DataPriority::kUrgent);
+}
+
+TEST(DataPriority, ModerateExcursionIsInteresting) {
+  DataPriorityConfig config;
+  config.interesting_sigma = 3.0;
+  config.urgent_sigma = 50.0;  // unreachable: isolate the middle band
+  DataPriorityAnalyzer analyzer{config};
+  util::Rng rng{4};
+  (void)analyzer.analyze(baseline_batch(rng, 300));
+  // ~5-sigma sustained bump; long enough for the fast tracker to settle on
+  // the new level.
+  const auto bump = baseline_batch(rng, 80, 2.2, 0.1);
+  EXPECT_EQ(analyzer.analyze(bump), DataPriority::kInteresting);
+}
+
+TEST(DataPriority, SlowDriftIsAbsorbed) {
+  DataPriorityAnalyzer analyzer;
+  util::Rng rng{5};
+  (void)analyzer.analyze(baseline_batch(rng, 300));
+  // Seasonal drift: +0.005 uS per 4-reading batch — an order of magnitude
+  // slower than the Fig 6 onset ramp.
+  DataPriority worst = DataPriority::kRoutine;
+  for (int i = 0; i < 300; ++i) {
+    const auto batch = baseline_batch(rng, 4, 1.0 + 0.005 * i, 0.25);
+    worst = std::max(worst, analyzer.analyze(batch));
+  }
+  EXPECT_NE(worst, DataPriority::kUrgent);
+}
+
+TEST(DataPriority, PressureSpikeAlsoEscalates) {
+  // §I: stick-slip studies track basal water-pressure changes.
+  DataPriorityAnalyzer analyzer;
+  util::Rng rng{6};
+  (void)analyzer.analyze(baseline_batch(rng, 300));
+  std::vector<proto::ProbeReading> surge;
+  for (int i = 0; i < 30; ++i) {
+    proto::ProbeReading reading;
+    reading.probe_id = 21;
+    reading.conductivity_us = 1.0;
+    reading.pressure_kpa = 900.0;  // step far beyond the 8 kPa noise
+    surge.push_back(reading);
+  }
+  EXPECT_EQ(analyzer.analyze(surge), DataPriority::kUrgent);
+}
+
+TEST(DataPriority, ProbesTrackedIndependently) {
+  DataPriorityAnalyzer analyzer;
+  util::Rng rng{7};
+  // Probe 21 baseline low, probe 24 baseline high — neither is an anomaly
+  // for the other.
+  std::vector<proto::ProbeReading> mixed;
+  for (int i = 0; i < 400; ++i) {
+    proto::ProbeReading a;
+    a.probe_id = 21;
+    a.conductivity_us = 0.5 + 0.1 * rng.normal();
+    a.pressure_kpa = 600.0;
+    mixed.push_back(a);
+    proto::ProbeReading b;
+    b.probe_id = 24;
+    b.conductivity_us = 6.0 + 0.1 * rng.normal();
+    b.pressure_kpa = 600.0;
+    mixed.push_back(b);
+  }
+  EXPECT_EQ(analyzer.analyze(mixed), DataPriority::kRoutine);
+}
+
+TEST(DataPriority, EmptyBatchIsRoutine) {
+  DataPriorityAnalyzer analyzer;
+  EXPECT_EQ(analyzer.analyze({}), DataPriority::kRoutine);
+}
+
+}  // namespace
+}  // namespace gw::core

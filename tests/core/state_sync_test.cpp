@@ -1,0 +1,92 @@
+#include "core/state_sync.h"
+
+#include <gtest/gtest.h>
+
+namespace gw::core {
+namespace {
+
+TEST(SyncRules, FetchFailureFallsBackToLocal) {
+  // §III: "if the fetching of the over-ride state from the server fails for
+  // any reason then the system will just rely on its local state."
+  EXPECT_EQ(SyncRules::apply(PowerState::kState3, std::nullopt),
+            PowerState::kState3);
+  EXPECT_EQ(SyncRules::apply(PowerState::kState0, std::nullopt),
+            PowerState::kState0);
+}
+
+TEST(SyncRules, OverrideCanLowerButNotRaise) {
+  // "does not allow the state to be set higher than the battery voltage
+  // allows."
+  EXPECT_EQ(SyncRules::apply(PowerState::kState3, PowerState::kState2),
+            PowerState::kState2);
+  EXPECT_EQ(SyncRules::apply(PowerState::kState1, PowerState::kState3),
+            PowerState::kState1);
+}
+
+TEST(SyncRules, CannotBeForcedToStateZero) {
+  // "or for the station to be forced into power state 0."
+  EXPECT_EQ(SyncRules::apply(PowerState::kState3, PowerState::kState0),
+            PowerState::kState1);
+  EXPECT_EQ(SyncRules::apply(PowerState::kState2, PowerState::kState0),
+            PowerState::kState1);
+}
+
+TEST(SyncRules, VoltageZeroStillWinsOverOverride) {
+  // A flat battery is state 0 no matter what the server says.
+  EXPECT_EQ(SyncRules::apply(PowerState::kState0, PowerState::kState3),
+            PowerState::kState0);
+}
+
+TEST(SyncServer, ReturnsLowestReportedState) {
+  SyncServer server;
+  server.report_state("base", PowerState::kState3);
+  server.report_state("reference", PowerState::kState2);
+  ASSERT_TRUE(server.override_for_client().has_value());
+  EXPECT_EQ(*server.override_for_client(), PowerState::kState2);
+}
+
+TEST(SyncServer, NoReportsNoOverride) {
+  SyncServer server;
+  EXPECT_FALSE(server.override_for_client().has_value());
+}
+
+TEST(SyncServer, LatestReportWins) {
+  SyncServer server;
+  server.report_state("base", PowerState::kState1);
+  server.report_state("base", PowerState::kState3);
+  EXPECT_EQ(*server.override_for_client(), PowerState::kState3);
+  EXPECT_EQ(*server.reported_state("base"), PowerState::kState3);
+  EXPECT_FALSE(server.reported_state("ghost").has_value());
+}
+
+TEST(SyncServer, ManualOverrideFloorsTheResult) {
+  // Fig 5's observed behaviour: voltage allowed state 3 but the system "was
+  // being held in state 2 by the remote override system."
+  SyncServer server;
+  server.report_state("base", PowerState::kState3);
+  server.report_state("reference", PowerState::kState3);
+  server.set_manual_override(PowerState::kState2);
+  EXPECT_EQ(*server.override_for_client(), PowerState::kState2);
+  // Released: stations converge back to 3.
+  server.set_manual_override(std::nullopt);
+  EXPECT_EQ(*server.override_for_client(), PowerState::kState3);
+}
+
+TEST(SyncServer, EndToEndKeepsStationsInLockstep) {
+  // Both stations apply the min rule, so dGPS schedules match even though
+  // their batteries differ.
+  SyncServer server;
+  const auto base_local = PowerState::kState3;
+  const auto ref_local = PowerState::kState2;
+  server.report_state("base", base_local);
+  server.report_state("reference", ref_local);
+  const auto base_final =
+      SyncRules::apply(base_local, server.override_for_client());
+  const auto ref_final =
+      SyncRules::apply(ref_local, server.override_for_client());
+  EXPECT_EQ(base_final, ref_final);
+  EXPECT_EQ(base_final, PowerState::kState2);
+}
+
+}  // namespace
+}  // namespace gw::core

@@ -1,0 +1,97 @@
+#include "core/update_manager.h"
+
+#include <gtest/gtest.h>
+
+namespace gw::core {
+namespace {
+
+UpdatePackage make_package(const std::string& payload) {
+  UpdatePackage package;
+  package.name = "basestation.py";
+  package.payload = payload;
+  package.expected_md5 = util::Md5::hex_digest(payload);
+  return package;
+}
+
+TEST(UpdateManager, CleanDownloadInstalls) {
+  UpdateManagerConfig config;
+  config.transfer_corruption = 0.0;
+  UpdateManager manager{util::Rng{1}, config};
+  const auto beacon = manager.apply(make_package("print('hello glacier')"));
+  EXPECT_TRUE(beacon.verified);
+  EXPECT_TRUE(manager.has("basestation.py"));
+  EXPECT_EQ(manager.installed("basestation.py"), "print('hello glacier')");
+  EXPECT_EQ(manager.installs(), 1);
+  EXPECT_EQ(manager.rejections(), 0);
+}
+
+TEST(UpdateManager, CorruptedDownloadRejectedOldFileKept) {
+  UpdateManagerConfig config;
+  config.transfer_corruption = 0.0;
+  UpdateManager manager{util::Rng{1}, config};
+  (void)manager.apply(make_package("version-1"));
+
+  UpdateManagerConfig always_corrupt;
+  always_corrupt.transfer_corruption = 1.0;
+  UpdateManager corrupting{util::Rng{2}, always_corrupt};
+  (void)corrupting.apply(make_package("version-1"));
+  const auto beacon = corrupting.apply(make_package("version-2"));
+  EXPECT_FALSE(beacon.verified);
+  EXPECT_NE(beacon.md5, util::Md5::hex_digest("version-2"));
+  EXPECT_FALSE(corrupting.has("version-2"));
+  EXPECT_EQ(corrupting.rejections(), 2);
+}
+
+TEST(UpdateManager, BeaconRendersAsHttpGet) {
+  // §VI: "the script ... uploads the MD5sum that it has calculated using a
+  // HTTP GET (the version of wget in use does not support POST)."
+  UpdateManagerConfig config;
+  config.transfer_corruption = 0.0;
+  UpdateManager manager{util::Rng{1}, config};
+  const auto beacon = manager.apply(make_package("x = 1"));
+  const std::string get = beacon.http_get();
+  EXPECT_NE(get.find("GET /update_result?file=basestation.py&md5="),
+            std::string::npos);
+  EXPECT_NE(get.find("&ok=1"), std::string::npos);
+}
+
+TEST(UpdateManager, CorruptionRateMatchesConfig) {
+  UpdateManagerConfig config;
+  config.transfer_corruption = 0.3;
+  UpdateManager manager{util::Rng{5}, config};
+  int rejected = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const auto beacon = manager.apply(make_package("payload-" +
+                                                   std::to_string(i)));
+    if (!beacon.verified) ++rejected;
+  }
+  EXPECT_NEAR(rejected / 1000.0, 0.3, 0.05);
+  EXPECT_EQ(manager.downloads(), 1000);
+  EXPECT_EQ(manager.installs() + manager.rejections(), 1000);
+}
+
+TEST(UpdateManager, RetryAfterCorruptionSucceeds) {
+  // The deployed workflow: Southampton sees ok=0 in the beacon and resends
+  // the next day.
+  UpdateManagerConfig config;
+  config.transfer_corruption = 0.5;
+  UpdateManager manager{util::Rng{7}, config};
+  const auto package = make_package("important fix");
+  int attempts = 0;
+  while (!manager.has("basestation.py") && attempts < 20) {
+    (void)manager.apply(package);
+    ++attempts;
+  }
+  EXPECT_TRUE(manager.has("basestation.py"));
+}
+
+TEST(UpdateManager, EmptyPayloadNeverCorrupts) {
+  UpdateManagerConfig config;
+  config.transfer_corruption = 1.0;
+  UpdateManager manager{util::Rng{9}, config};
+  const auto beacon = manager.apply(make_package(""));
+  EXPECT_TRUE(beacon.verified);
+}
+
+}  // namespace
+}  // namespace gw::core

@@ -1,0 +1,81 @@
+#include "core/watchdog.h"
+
+#include <gtest/gtest.h>
+
+namespace gw::core {
+namespace {
+
+TEST(Watchdog, FiresAfterLimit) {
+  sim::Simulation simulation;
+  Watchdog watchdog{simulation};
+  bool fired = false;
+  watchdog.arm([&] { fired = true; });
+  simulation.run_until(simulation.now() + sim::hours(2) - sim::seconds(1));
+  EXPECT_FALSE(fired);
+  simulation.run_until(simulation.now() + sim::seconds(2));
+  EXPECT_TRUE(fired);
+  EXPECT_TRUE(watchdog.expired());
+  EXPECT_EQ(watchdog.expiry_count(), 1);
+}
+
+TEST(Watchdog, DisarmPreventsExpiry) {
+  sim::Simulation simulation;
+  Watchdog watchdog{simulation};
+  bool fired = false;
+  watchdog.arm([&] { fired = true; });
+  simulation.run_until(simulation.now() + sim::hours(1));
+  watchdog.disarm();
+  simulation.run_until(simulation.now() + sim::hours(3));
+  EXPECT_FALSE(fired);
+  EXPECT_FALSE(watchdog.expired());
+}
+
+TEST(Watchdog, RearmRestartsTheClock) {
+  sim::Simulation simulation;
+  Watchdog watchdog{simulation};
+  int fires = 0;
+  watchdog.arm([&] { ++fires; });
+  simulation.run_until(simulation.now() + sim::hours(1));
+  watchdog.arm([&] { ++fires; });  // daily re-arm
+  simulation.run_until(simulation.now() + sim::hours(1.5));
+  EXPECT_EQ(fires, 0);  // old deadline cancelled
+  simulation.run_until(simulation.now() + sim::hours(1));
+  EXPECT_EQ(fires, 1);
+}
+
+TEST(Watchdog, RemainingCountsDown) {
+  sim::Simulation simulation;
+  Watchdog watchdog{simulation};
+  watchdog.arm([] {});
+  EXPECT_EQ(watchdog.remaining(), sim::hours(2));
+  simulation.run_until(simulation.now() + sim::minutes(30));
+  EXPECT_EQ(watchdog.remaining(), sim::minutes(90));
+  watchdog.disarm();
+  EXPECT_EQ(watchdog.remaining(), sim::Duration{0});
+}
+
+TEST(Watchdog, CustomLimit) {
+  sim::Simulation simulation;
+  Watchdog watchdog{simulation, sim::minutes(10)};
+  bool fired = false;
+  watchdog.arm([&] { fired = true; });
+  simulation.run_until(simulation.now() + sim::minutes(11));
+  EXPECT_TRUE(fired);
+}
+
+TEST(Watchdog, HungTransferScenario) {
+  // §VI: "if something crashes in the system — for example a SCP transfer
+  // hangs — the system does not remain running until its batteries are
+  // depleted." The hung task never finishes; only the watchdog ends it.
+  sim::Simulation simulation;
+  Watchdog watchdog{simulation};
+  bool power_cut = false;
+  watchdog.arm([&] { power_cut = true; });
+  // No other events: the hang means nothing is scheduled.
+  simulation.run_until(simulation.now() + sim::days(1));
+  EXPECT_TRUE(power_cut);
+  EXPECT_EQ(watchdog.expiry_count(), 1);
+}
+
+}  // namespace
+}  // namespace gw::core

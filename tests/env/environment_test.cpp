@@ -1,0 +1,72 @@
+#include "env/environment.h"
+
+#include <gtest/gtest.h>
+
+namespace gw::env {
+namespace {
+
+TEST(Environment, AllSubsystemsAccessible) {
+  Environment environment{42};
+  const auto noon = sim::at_midnight(2009, 6, 21) + sim::hours(12);
+  EXPECT_GE(environment.solar().irradiance(noon).value(), 0.0);
+  EXPECT_GE(environment.wind().speed(noon).value(), 0.0);
+  (void)environment.temperature().air(noon);
+  (void)environment.snow().depth(noon, environment.temperature());
+  (void)environment.melt().water_index(noon, environment.temperature());
+  EXPECT_GE(environment.interference().dropout_probability(noon), 0.0);
+  EXPECT_GT(environment.gps_sky().visible(noon), 0);
+}
+
+TEST(Environment, SameSeedSameWorld) {
+  Environment a{7};
+  Environment b{7};
+  for (int day = 0; day < 60; ++day) {
+    const auto t = sim::at_midnight(2009, 3, 1) + sim::days(day) +
+                   sim::hours(12);
+    EXPECT_DOUBLE_EQ(a.solar().irradiance(t).value(),
+                     b.solar().irradiance(t).value());
+    EXPECT_DOUBLE_EQ(a.wind().speed(t).value(), b.wind().speed(t).value());
+    EXPECT_DOUBLE_EQ(a.temperature().air(t).value(),
+                     b.temperature().air(t).value());
+    EXPECT_EQ(a.gps_sky().visible(t), b.gps_sky().visible(t));
+  }
+}
+
+TEST(Environment, DifferentSeedsDifferentWeather) {
+  Environment a{7};
+  Environment b{8};
+  int identical = 0;
+  for (int day = 0; day < 30; ++day) {
+    const auto t = sim::at_midnight(2009, 6, 1) + sim::days(day) +
+                   sim::hours(12);
+    if (a.solar().irradiance(t).value() == b.solar().irradiance(t).value()) {
+      ++identical;
+    }
+  }
+  EXPECT_LT(identical, 5);
+}
+
+TEST(Environment, NamedForksAreStableAndDistinct) {
+  Environment environment{11};
+  util::Rng a = environment.fork_rng("device-x");
+  util::Rng b = environment.fork_rng("device-x");
+  util::Rng c = environment.fork_rng("device-y");
+  for (int i = 0; i < 20; ++i) {
+    const auto va = a.next_u64();
+    EXPECT_EQ(va, b.next_u64());
+    EXPECT_NE(va, c.next_u64());
+  }
+}
+
+TEST(Environment, ConfigPlumbsThrough) {
+  EnvironmentConfig config;
+  config.radio_site = RadioSite::kLab;
+  config.solar.cloud_stddev = 0.0;
+  config.gps_sky.mean_visible = 12.0;
+  Environment environment{config, 3};
+  EXPECT_EQ(environment.interference().site(), RadioSite::kLab);
+  EXPECT_NEAR(environment.gps_sky().config().mean_visible, 12.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace gw::env

@@ -1,0 +1,93 @@
+#include "env/gps_sky.h"
+
+#include <gtest/gtest.h>
+
+#include "util/stats.h"
+
+namespace gw::env {
+namespace {
+
+TEST(GpsSky, VisibleCountsPlausible) {
+  GpsSky sky{GpsSkyConfig{}, util::Rng{1}};
+  util::Summary counts;
+  for (int hour = 0; hour < 24 * 30; ++hour) {
+    const auto t = sim::at_midnight(2009, 6, 1) + sim::hours(hour);
+    const int n = sky.visible(t);
+    EXPECT_GE(n, 0);
+    EXPECT_LE(n, 16);
+    counts.add(n);
+  }
+  EXPECT_NEAR(counts.mean(), 9.5, 0.8);
+  EXPECT_GT(counts.stddev(), 0.8);  // the geometry actually varies
+}
+
+TEST(GpsSky, GeometryRepeatsHalfSiderealDay) {
+  GpsSkyConfig config;
+  config.jitter = 0.0;               // isolate the deterministic harmonic
+  config.secondary_amplitude = 0.0;  // the beat term is incommensurate
+  GpsSky sky{config, util::Rng{1}};
+  const auto t0 = sim::at_midnight(2009, 6, 1);
+  // 11.9661 h period: same count one period later.
+  const auto period = sim::hours(11.9661);
+  for (int k = 0; k < 8; ++k) {
+    const auto t = t0 + sim::hours(k);
+    EXPECT_EQ(sky.visible(t), sky.visible(t + period)) << "hour " << k;
+  }
+}
+
+TEST(GpsSky, FixNeedsEnoughSatellites) {
+  GpsSkyConfig config;
+  config.mean_visible = 3.0;  // terrible sky
+  config.orbital_amplitude = 0.0;
+  config.secondary_amplitude = 0.0;
+  config.jitter = 0.0;
+  GpsSky bad{config, util::Rng{1}};
+  EXPECT_FALSE(bad.fix_possible(sim::at_midnight(2009, 6, 1)));
+
+  GpsSky good{GpsSkyConfig{}, util::Rng{1}};
+  int possible = 0;
+  for (int hour = 0; hour < 240; ++hour) {
+    if (good.fix_possible(sim::at_midnight(2009, 6, 1) + sim::hours(hour))) {
+      ++possible;
+    }
+  }
+  EXPECT_GT(possible, 230);  // open ice-cap sky: fixes nearly always
+}
+
+TEST(GpsSky, MoreSatellitesFasterFix) {
+  GpsSkyConfig many_config;
+  many_config.mean_visible = 12.0;
+  many_config.orbital_amplitude = 0.0;
+  many_config.secondary_amplitude = 0.0;
+  many_config.jitter = 0.0;
+  GpsSky many{many_config, util::Rng{1}};
+
+  GpsSkyConfig few_config = many_config;
+  few_config.mean_visible = 5.0;
+  GpsSky few{few_config, util::Rng{1}};
+
+  const auto t = sim::at_midnight(2009, 6, 1);
+  EXPECT_LT(many.fix_time(t), few.fix_time(t));
+}
+
+TEST(GpsSky, FileSizeFactorTracksVisibility) {
+  GpsSky sky{GpsSkyConfig{}, util::Rng{1}};
+  for (int hour = 0; hour < 100; ++hour) {
+    const auto t = sim::at_midnight(2009, 6, 1) + sim::hours(hour);
+    const double factor = sky.file_size_factor(t);
+    EXPECT_GE(factor, 0.4);
+    EXPECT_LE(factor, 1.8);
+  }
+}
+
+TEST(GpsSky, Deterministic) {
+  GpsSky a{GpsSkyConfig{}, util::Rng{9}};
+  GpsSky b{GpsSkyConfig{}, util::Rng{9}};
+  for (int hour = 0; hour < 100; ++hour) {
+    const auto t = sim::at_midnight(2009, 6, 1) + sim::hours(hour);
+    EXPECT_EQ(a.visible(t), b.visible(t));
+  }
+}
+
+}  // namespace
+}  // namespace gw::env

@@ -1,0 +1,52 @@
+#include "env/interference.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/time.h"
+
+namespace gw::env {
+namespace {
+
+TEST(Interference, BusyHoursWorseThanNight) {
+  InterferenceModel lab{InterferenceConfig{}, RadioSite::kLab, util::Rng{1}};
+  const auto day = sim::at_midnight(2009, 9, 22);
+  const double night = lab.dropout_probability(day + sim::hours(3));
+  const double noon = lab.dropout_probability(day + sim::hours(12));
+  EXPECT_GT(noon, night * 3.0);
+}
+
+TEST(Interference, GlacierQuieterThanLab) {
+  // §II: the modems looked unreliable in the lab but "more reliable there
+  // [on the glacier] than in the lab".
+  InterferenceModel lab{InterferenceConfig{}, RadioSite::kLab, util::Rng{1}};
+  InterferenceModel glacier{InterferenceConfig{}, RadioSite::kGlacier,
+                            util::Rng{1}};
+  const auto noon = sim::at_midnight(2009, 9, 22) + sim::hours(12);
+  EXPECT_LT(glacier.dropout_probability(noon),
+            lab.dropout_probability(noon));
+}
+
+TEST(Interference, ProbabilitiesAreValid) {
+  InterferenceModel lab{InterferenceConfig{}, RadioSite::kLab, util::Rng{1}};
+  for (int hour = 0; hour < 24; ++hour) {
+    const double p = lab.dropout_probability(sim::at_midnight(2009, 1, 1) +
+                                             sim::hours(hour));
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(Interference, DropoutDrawsMatchProbabilityRoughly) {
+  InterferenceModel lab{InterferenceConfig{}, RadioSite::kLab, util::Rng{7}};
+  const auto noon = sim::at_midnight(2009, 9, 22) + sim::hours(12);
+  const double p = lab.dropout_probability(noon);
+  int hits = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    if (lab.dropout(noon)) ++hits;
+  }
+  EXPECT_NEAR(double(hits) / kN, p, 0.01);
+}
+
+}  // namespace
+}  // namespace gw::env

@@ -1,0 +1,58 @@
+#include "env/temperature.h"
+
+#include <gtest/gtest.h>
+
+namespace gw::env {
+namespace {
+
+TEST(Temperature, SummerWarmerThanWinter) {
+  TemperatureModel model{TemperatureConfig{}, util::Rng{1}};
+  double january = 0.0;
+  double july = 0.0;
+  for (int day = 0; day < 28; ++day) {
+    january += model.air(sim::at_midnight(2009, 1, 1) + sim::days(day) +
+                         sim::hours(12))
+                   .value();
+    july += model.air(sim::at_midnight(2009, 7, 1) + sim::days(day) +
+                      sim::hours(12))
+                .value();
+  }
+  EXPECT_GT(july / 28, january / 28 + 10.0);
+}
+
+TEST(Temperature, WinterBelowFreezing) {
+  TemperatureModel model{TemperatureConfig{}, util::Rng{2}};
+  double sum = 0.0;
+  for (int day = 0; day < 60; ++day) {
+    sum += model.air(sim::at_midnight(2009, 1, 1) + sim::days(day) +
+                     sim::hours(12))
+               .value();
+  }
+  EXPECT_LT(sum / 60, 0.0);
+}
+
+TEST(Temperature, DiurnalAfternoonPeak) {
+  TemperatureModel model{TemperatureConfig{.noise_stddev_c = 0.0}, util::Rng{3}};
+  const auto day = sim::at_midnight(2009, 7, 10);
+  const double afternoon = model.air(day + sim::hours(15)).value();
+  const double night = model.air(day + sim::hours(3)).value();
+  EXPECT_GT(afternoon, night);
+}
+
+TEST(Temperature, EnclosureWarmerThanAir) {
+  TemperatureModel model{TemperatureConfig{}, util::Rng{4}};
+  const auto t = sim::at_midnight(2009, 1, 15) + sim::hours(12);
+  EXPECT_GT(model.enclosure(t).value(), model.air(t).value());
+}
+
+TEST(Temperature, Deterministic) {
+  TemperatureModel a{TemperatureConfig{}, util::Rng{5}};
+  TemperatureModel b{TemperatureConfig{}, util::Rng{5}};
+  for (int day = 0; day < 50; ++day) {
+    const auto t = sim::at_midnight(2009, 3, 1) + sim::days(day);
+    EXPECT_DOUBLE_EQ(a.air(t).value(), b.air(t).value());
+  }
+}
+
+}  // namespace
+}  // namespace gw::env

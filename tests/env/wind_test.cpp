@@ -1,0 +1,69 @@
+#include "env/wind.h"
+
+#include <gtest/gtest.h>
+
+namespace gw::env {
+namespace {
+
+TEST(Wind, NonNegativeSpeeds) {
+  WindModel model{WindConfig{}, util::Rng{3}};
+  for (int hour = 0; hour < 24 * 30; ++hour) {
+    const auto t = sim::at_midnight(2009, 1, 1) + sim::hours(hour);
+    EXPECT_GE(model.speed(t).value(), 0.0);
+  }
+}
+
+TEST(Wind, DailyMeanPersistsWithinDay) {
+  WindModel model{WindConfig{.gust_stddev = 0.0}, util::Rng{3}};
+  const auto day = sim::at_midnight(2009, 3, 1);
+  const double a = model.speed(day + sim::hours(1)).value();
+  const double b = model.speed(day + sim::hours(20)).value();
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(Wind, WinterIsStormierOnAverage) {
+  WindModel model{WindConfig{}, util::Rng{31}};
+  double winter = 0.0;
+  double summer = 0.0;
+  for (int day = 0; day < 120; ++day) {
+    winter += model
+                  .speed(sim::at_midnight(2008, 11, 15) + sim::days(day) +
+                         sim::hours(12))
+                  .value();
+  }
+  for (int day = 0; day < 120; ++day) {
+    summer += model
+                  .speed(sim::at_midnight(2009, 5, 15) + sim::days(day) +
+                         sim::hours(12))
+                  .value();
+  }
+  EXPECT_GT(winter, summer);
+}
+
+TEST(Wind, DeterministicPerSeed) {
+  WindModel a{WindConfig{}, util::Rng{5}};
+  WindModel b{WindConfig{}, util::Rng{5}};
+  for (int hour = 0; hour < 100; ++hour) {
+    const auto t = sim::at_midnight(2009, 2, 1) + sim::hours(hour);
+    EXPECT_DOUBLE_EQ(a.speed(t).value(), b.speed(t).value());
+  }
+}
+
+TEST(Wind, LongRunMeanReasonable) {
+  WindModel model{WindConfig{}, util::Rng{41}};
+  double sum = 0.0;
+  int n = 0;
+  for (int day = 0; day < 365; ++day) {
+    sum += model.speed(sim::at_midnight(2009, 1, 1) + sim::days(day) +
+                       sim::hours(12))
+               .value();
+    ++n;
+  }
+  const double mean = sum / n;
+  // Weibull(2, ~6.5) mean ≈ 5.8 m/s; allow generous slack for seasonality.
+  EXPECT_GT(mean, 3.5);
+  EXPECT_LT(mean, 9.0);
+}
+
+}  // namespace
+}  // namespace gw::env

@@ -1,0 +1,147 @@
+#include "hw/cf_card.h"
+
+#include <gtest/gtest.h>
+
+namespace gw::hw {
+namespace {
+
+using namespace util::literals;
+
+CompactFlashCard make_card(StorageFormat format = StorageFormat::kPlain,
+                           std::uint64_t seed = 1) {
+  CfCardConfig config;
+  config.format = format;
+  return CompactFlashCard{util::Rng{seed}, config};
+}
+
+TEST(CfCard, WriteReadRemove) {
+  auto card = make_card();
+  ASSERT_TRUE(card.write("dgps_001", 165_KiB).ok());
+  ASSERT_TRUE(card.exists("dgps_001"));
+  const auto read = card.read("dgps_001");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), 165_KiB);
+  EXPECT_TRUE(card.remove("dgps_001").ok());
+  EXPECT_FALSE(card.exists("dgps_001"));
+  EXPECT_FALSE(card.remove("dgps_001").ok());
+}
+
+TEST(CfCard, CapacityEnforced) {
+  CfCardConfig config;
+  config.capacity = 300_KiB;
+  CompactFlashCard card{util::Rng{1}, config};
+  ASSERT_TRUE(card.write("a", 165_KiB).ok());
+  EXPECT_FALSE(card.write("b", 165_KiB).ok());
+  EXPECT_EQ(card.file_count(), 1u);
+}
+
+TEST(CfCard, DoubleBeginWriteRejected) {
+  auto card = make_card();
+  ASSERT_TRUE(card.begin_write("a", 1_KiB).ok());
+  EXPECT_FALSE(card.begin_write("b", 1_KiB).ok());
+  ASSERT_TRUE(card.commit_write().ok());
+  EXPECT_FALSE(card.commit_write().ok());
+}
+
+TEST(CfCard, PlainPowerCutCorruptsInFlightFile) {
+  // Use a seed/config where metadata survives to isolate the file effect.
+  CfCardConfig config;
+  config.metadata_corruption_on_cut = 0.0;
+  CompactFlashCard card{util::Rng{1}, config};
+  ASSERT_TRUE(card.begin_write("victim", 165_KiB).ok());
+  card.power_cut();
+  EXPECT_TRUE(card.exists("victim"));        // entry is there...
+  EXPECT_FALSE(card.read("victim").ok());    // ...but unreadable
+}
+
+TEST(CfCard, PlainPowerCutSometimesKillsMetadata) {
+  int metadata_deaths = 0;
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    auto card = make_card(StorageFormat::kPlain, seed);
+    ASSERT_TRUE(card.begin_write("victim", 1_KiB).ok());
+    card.power_cut();
+    if (card.metadata_corrupted()) ++metadata_deaths;
+  }
+  // config default 15% — the rare whole-card corruption of §VII.
+  EXPECT_NEAR(metadata_deaths / 200.0, 0.15, 0.07);
+}
+
+TEST(CfCard, JournaledPowerCutLosesOnlyInFlight) {
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    auto card = make_card(StorageFormat::kJournaled, seed);
+    ASSERT_TRUE(card.write("committed", 10_KiB).ok());
+    ASSERT_TRUE(card.begin_write("in_flight", 10_KiB).ok());
+    card.power_cut();
+    EXPECT_FALSE(card.metadata_corrupted());
+    EXPECT_FALSE(card.exists("in_flight"));
+    EXPECT_TRUE(card.read("committed").ok());
+  }
+}
+
+TEST(CfCard, PowerCutWithNoWriteIsHarmless) {
+  auto card = make_card();
+  ASSERT_TRUE(card.write("data", 10_KiB).ok());
+  card.power_cut();
+  EXPECT_TRUE(card.read("data").ok());
+  EXPECT_FALSE(card.metadata_corrupted());
+}
+
+TEST(CfCard, CorruptedMetadataBlocksEverything) {
+  CfCardConfig config;
+  config.metadata_corruption_on_cut = 1.0;
+  CompactFlashCard card{util::Rng{1}, config};
+  ASSERT_TRUE(card.write("data", 10_KiB).ok());
+  ASSERT_TRUE(card.begin_write("victim", 1_KiB).ok());
+  card.power_cut();
+  ASSERT_TRUE(card.metadata_corrupted());
+  EXPECT_FALSE(card.read("data").ok());
+  EXPECT_FALSE(card.exists("data"));
+  EXPECT_TRUE(card.list().empty());
+  EXPECT_FALSE(card.write("new", 1_KiB).ok());
+}
+
+TEST(CfCard, FsckRecoversMostData) {
+  // §VII: "it proved possible to recover the data from the card".
+  CfCardConfig config;
+  config.metadata_corruption_on_cut = 1.0;
+  CompactFlashCard card{util::Rng{42}, config};
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(card.write("f" + std::to_string(i), 165_KiB).ok());
+  }
+  ASSERT_TRUE(card.begin_write("victim", 1_KiB).ok());
+  card.power_cut();
+  ASSERT_TRUE(card.metadata_corrupted());
+  const auto report = card.fsck(/*attempt_recovery=*/true);
+  EXPECT_FALSE(card.metadata_corrupted());
+  EXPECT_EQ(report.healthy, 20);
+  EXPECT_EQ(report.corrupted_files, 1);
+  // The 20 committed files are readable again.
+  EXPECT_TRUE(card.read("f0").ok());
+}
+
+TEST(CfCard, AgeInducesBitrotEventually) {
+  CfCardConfig config;
+  config.bitrot_per_file_month = 0.05;  // accelerated for the test
+  CompactFlashCard card{util::Rng{3}, config};
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(card.write("f" + std::to_string(i), 1_KiB).ok());
+  }
+  card.age(sim::days(365));
+  const auto report = card.fsck(/*attempt_recovery=*/false);
+  EXPECT_GT(report.corrupted_files, 0);
+  EXPECT_LT(report.corrupted_files, 50);
+}
+
+TEST(CfCard, ScanWithoutRecoveryCountsLoss) {
+  CfCardConfig config;
+  config.metadata_corruption_on_cut = 0.0;
+  CompactFlashCard card{util::Rng{1}, config};
+  ASSERT_TRUE(card.begin_write("victim", 100_KiB).ok());
+  card.power_cut();
+  auto report = card.fsck(/*attempt_recovery=*/false);
+  EXPECT_EQ(report.corrupted_files, 1);
+  EXPECT_EQ(report.lost, 100_KiB);
+}
+
+}  // namespace
+}  // namespace gw::hw

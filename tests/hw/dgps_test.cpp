@@ -1,0 +1,139 @@
+#include "hw/dgps.h"
+
+#include <gtest/gtest.h>
+
+#include "env/environment.h"
+
+namespace gw::hw {
+namespace {
+
+struct Fixture {
+  sim::Simulation simulation{sim::at_midnight(2009, 9, 22)};
+  env::Environment environment{1};
+  power::PowerSystemConfig config;
+  power::PowerSystem power{simulation, environment, config};
+  DgpsReceiver dgps{simulation, power, util::Rng{3}};
+};
+
+TEST(Dgps, AutoStartsReadingOnPower) {
+  Fixture f;
+  bool completed = false;
+  f.dgps.power_on([&] { completed = true; });
+  EXPECT_TRUE(f.dgps.powered());
+  EXPECT_DOUBLE_EQ(f.power.total_load_power().value(), 3.6);  // Table 1
+  f.simulation.run_until(f.simulation.now() + sim::seconds(308));
+  EXPECT_TRUE(completed);
+  EXPECT_EQ(f.dgps.stored_files(), 1u);
+  EXPECT_EQ(f.dgps.readings_taken(), 1);
+}
+
+TEST(Dgps, PowerCutMidReadingStoresNothing) {
+  Fixture f;
+  bool completed = false;
+  f.dgps.power_on([&] { completed = true; });
+  f.simulation.run_until(f.simulation.now() + sim::seconds(100));
+  f.dgps.power_off();
+  f.simulation.run_until(f.simulation.now() + sim::seconds(400));
+  EXPECT_FALSE(completed);
+  EXPECT_EQ(f.dgps.stored_files(), 0u);
+}
+
+TEST(Dgps, FileSizeNearPaperMean) {
+  Fixture f;
+  // 30 readings; mean size should be ~165 KB with 12% jitter (§III).
+  for (int i = 0; i < 30; ++i) {
+    f.dgps.power_on();
+    f.simulation.run_until(f.simulation.now() + sim::seconds(308));
+    f.dgps.power_off();
+    f.simulation.run_until(f.simulation.now() + sim::minutes(10));
+  }
+  ASSERT_EQ(f.dgps.stored_files(), 30u);
+  const double mean_kib = f.dgps.stored_bytes().kib() / 30.0;
+  EXPECT_NEAR(mean_kib, 165.0, 12.0);
+}
+
+TEST(Dgps, FetchOldestIsFifo) {
+  Fixture f;
+  for (int i = 0; i < 3; ++i) {
+    f.dgps.power_on();
+    f.simulation.run_until(f.simulation.now() + sim::seconds(308));
+    f.dgps.power_off();
+    f.simulation.run_until(f.simulation.now() + sim::hours(2));
+  }
+  auto first = f.dgps.fetch_oldest();
+  auto second = f.dgps.fetch_oldest();
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_LT(first.value().name, second.value().name);  // ISO names sort by time
+  EXPECT_EQ(f.dgps.stored_files(), 1u);
+}
+
+TEST(Dgps, FetchFromEmptyFails) {
+  Fixture f;
+  EXPECT_FALSE(f.dgps.fetch_oldest().ok());
+}
+
+TEST(Dgps, FetchDurationIsCalibrated) {
+  Fixture f;
+  // 28 s/file so a 2-hour window holds ~257 files — the §VI backlog limits.
+  EXPECT_EQ(f.dgps.fetch_duration(), sim::seconds(28));
+  EXPECT_EQ(std::int64_t(sim::hours(2).millis() /
+                         f.dgps.fetch_duration().millis()),
+            257);
+}
+
+TEST(Dgps, TimeFixRequiresPower) {
+  Fixture f;
+  EXPECT_FALSE(f.dgps.time_fix().ok());
+}
+
+TEST(Dgps, TimeFixUsuallySucceedsAndIsAccurate) {
+  Fixture f;
+  f.dgps.power_on();
+  int successes = 0;
+  for (int i = 0; i < 200; ++i) {
+    const auto fix = f.dgps.time_fix();
+    if (fix.ok()) {
+      ++successes;
+      // GPS time is authoritative; the fix lands within the acquisition
+      // window of true time.
+      EXPECT_LE((fix.value() - f.simulation.now()).to_seconds(), 90.0);
+    }
+  }
+  EXPECT_NEAR(successes / 200.0, 0.92, 0.06);
+}
+
+TEST(Dgps, SkyModelDrivesFileSizeAndFix) {
+  Fixture f;
+  DgpsReceiver dgps{f.simulation, f.power, util::Rng{3}, DgpsConfig{},
+                    &f.environment.gps_sky()};
+  // Sizes track satellite visibility rather than pure noise.
+  for (int i = 0; i < 10; ++i) {
+    dgps.power_on();
+    f.simulation.run_until(f.simulation.now() + sim::seconds(308));
+    dgps.power_off();
+    f.simulation.run_until(f.simulation.now() + sim::hours(2));
+  }
+  ASSERT_EQ(dgps.stored_files(), 10u);
+  const double mean_kib = dgps.stored_bytes().kib() / 10.0;
+  EXPECT_NEAR(mean_kib, 165.0, 40.0);
+  EXPECT_GT(dgps.satellites_visible(), 0);
+  // Fixes work under an open ice-cap sky.
+  dgps.power_on();
+  int ok = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (dgps.time_fix().ok()) ++ok;
+  }
+  EXPECT_GT(ok, 35);
+}
+
+TEST(Dgps, State3EnergyBudgetMatchesPaper) {
+  // 12 readings/day x 308 s at 3.6 W ≈ 1.03 h/day ⇒ 36 Ah lasts ~117 days.
+  const double on_hours = 12.0 * 308.0 / 3600.0;
+  const double amps = 3.6 / 12.0;
+  const double days = 36.0 / (amps * on_hours);
+  EXPECT_NEAR(days, 117.0, 1.0);
+}
+
+}  // namespace
+}  // namespace gw::hw

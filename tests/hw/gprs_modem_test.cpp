@@ -1,0 +1,119 @@
+#include "hw/gprs_modem.h"
+
+#include <gtest/gtest.h>
+
+#include "env/environment.h"
+
+namespace gw::hw {
+namespace {
+
+using namespace util::literals;
+
+struct Fixture {
+  sim::Simulation simulation{sim::at_midnight(2009, 9, 22)};
+  env::Environment environment{1};
+  power::PowerSystemConfig config;
+  power::PowerSystem power{simulation, environment, config};
+  GprsModem modem{simulation, power, util::Rng{5}};
+};
+
+TEST(GprsModem, TableOneCharacteristics) {
+  Fixture f;
+  EXPECT_DOUBLE_EQ(f.modem.config().rate.value(), 5000.0);
+  EXPECT_DOUBLE_EQ(f.modem.config().power.value(), 2.64);
+  f.modem.power_on();
+  EXPECT_DOUBLE_EQ(f.power.total_load_power().value(), 2.64);
+}
+
+TEST(GprsModem, TransferTimeMatchesRate) {
+  Fixture f;
+  // 165 KiB at 5000 bps with 12% overhead ≈ 302 s.
+  const auto t = f.modem.transfer_time(165_KiB);
+  EXPECT_NEAR(t.to_seconds(), 270.3 * 1.12, 1.0);
+}
+
+TEST(GprsModem, TransferRequiresPower) {
+  Fixture f;
+  const auto outcome = f.modem.attempt_transfer(10_KiB);
+  EXPECT_FALSE(outcome.success);
+  EXPECT_EQ(outcome.sent.count(), 0);
+}
+
+TEST(GprsModem, SuccessfulTransfersCarryFullPayload) {
+  Fixture f;
+  f.modem.power_on();
+  int successes = 0;
+  for (int i = 0; i < 100; ++i) {
+    const auto outcome = f.modem.attempt_transfer(50_KiB);
+    if (outcome.success) {
+      ++successes;
+      EXPECT_EQ(outcome.sent, 50_KiB);
+      EXPECT_GT(outcome.elapsed.to_seconds(), 35.0);  // registration floor
+    }
+  }
+  // Registration 92%, ~1.4 min transfer at 0.4%/min drop ⇒ ~91% success.
+  EXPECT_NEAR(successes / 100.0, 0.91, 0.08);
+}
+
+TEST(GprsModem, DropsLeavePartialProgress) {
+  Fixture f;
+  GprsConfig config;
+  config.drop_per_minute = 0.5;  // hostile network
+  GprsModem flaky{f.simulation, f.power, util::Rng{9}, config};
+  flaky.power_on();
+  bool saw_partial = false;
+  for (int i = 0; i < 50; ++i) {
+    const auto outcome = flaky.attempt_transfer(500_KiB);
+    if (!outcome.success && outcome.sent.count() > 0) {
+      saw_partial = true;
+      EXPECT_LT(outcome.sent, 500_KiB);
+    }
+  }
+  EXPECT_TRUE(saw_partial);
+}
+
+TEST(GprsModem, CostLedgerPerMiB) {
+  Fixture f;
+  GprsConfig config;
+  config.registration_success = 1.0;
+  config.drop_per_minute = 0.0;
+  GprsModem reliable{f.simulation, f.power, util::Rng{9}, config};
+  reliable.power_on();
+  (void)reliable.attempt_transfer(util::mib(2.0));
+  EXPECT_NEAR(reliable.data_cost(), 10.0, 0.01);  // 2 MiB x 5/MiB
+  EXPECT_EQ(reliable.bytes_sent(), util::mib(2.0));
+}
+
+TEST(GprsModem, FailureCountersTrack) {
+  Fixture f;
+  GprsConfig config;
+  config.registration_success = 0.0;
+  GprsModem dead{f.simulation, f.power, util::Rng{9}, config};
+  dead.power_on();
+  for (int i = 0; i < 5; ++i) (void)dead.attempt_transfer(1_KiB);
+  EXPECT_EQ(dead.sessions_attempted(), 5);
+  EXPECT_EQ(dead.registration_failures(), 5);
+  EXPECT_EQ(dead.bytes_sent().count(), 0);
+}
+
+TEST(GprsModem, ZeroByteTransferSucceedsAfterRegistration) {
+  Fixture f;
+  GprsConfig config;
+  config.registration_success = 1.0;
+  GprsModem reliable{f.simulation, f.power, util::Rng{9}, config};
+  reliable.power_on();
+  const auto outcome = reliable.attempt_transfer(0_B);
+  EXPECT_TRUE(outcome.success);
+  EXPECT_EQ(outcome.elapsed, sim::seconds(35));
+}
+
+TEST(GprsModem, EnergyPerBitBeatsRadioModem) {
+  // Table 1 arithmetic behind the architecture decision: GPRS moves a bit
+  // for 2.64/5000 = 0.53 mJ; the radio modem needs 3.96/2000 = 1.98 mJ.
+  const double gprs = 2.64 / 5000.0;
+  const double radio = 3.96 / 2000.0;
+  EXPECT_GT(radio / gprs, 2.0);  // §III's "twofold power saving" root
+}
+
+}  // namespace
+}  // namespace gw::hw

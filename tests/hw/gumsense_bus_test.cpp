@@ -1,0 +1,77 @@
+#include "hw/gumsense_bus.h"
+
+#include <gtest/gtest.h>
+
+#include "env/environment.h"
+
+namespace gw::hw {
+namespace {
+
+struct Fixture {
+  sim::Simulation simulation{sim::at_midnight(2009, 9, 22)};
+  env::Environment environment{1};
+  power::PowerSystemConfig config;
+  power::PowerSystem power{simulation, environment, config};
+  Msp430 msp{simulation, power, util::Rng{7}};
+};
+
+TEST(GumsenseBus, ReadSamplesDrainsRing) {
+  Fixture f;
+  GumsenseBus bus{f.msp, util::Rng{1}};
+  f.simulation.run_until(f.simulation.now() + sim::days(1));
+  const auto samples = bus.read_samples();
+  ASSERT_TRUE(samples.ok());
+  EXPECT_EQ(samples.value().size(), 48u);
+  EXPECT_EQ(f.msp.pending_samples(), 0u);
+}
+
+TEST(GumsenseBus, SetScheduleInstallsWake) {
+  Fixture f;
+  GumsenseBus bus{f.msp, util::Rng{1}};
+  const auto schedule =
+      core::DaySchedule::for_state(core::PowerState::kState2,
+                                   sim::hours(12));
+  ASSERT_TRUE(bus.set_schedule(schedule).ok());
+  ASSERT_TRUE(f.msp.wake_schedule().has_value());
+  EXPECT_EQ(*f.msp.wake_schedule(), sim::hours(12));
+}
+
+TEST(GumsenseBus, RtcRoundTrip) {
+  Fixture f;
+  GumsenseBus bus{f.msp, util::Rng{1}};
+  f.simulation.run_until(f.simulation.now() + sim::days(10));
+  const auto before = bus.read_rtc();
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(bus.set_rtc(f.simulation.now()).ok());
+  EXPECT_EQ(f.msp.rtc_error_ms(), 0);
+}
+
+TEST(GumsenseBus, RetriesAbsorbOccasionalNaks) {
+  Fixture f;
+  GumsenseBusConfig config;
+  config.nak_probability = 0.3;
+  GumsenseBus bus{f.msp, util::Rng{3}, config};
+  int failures = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (!bus.read_rtc().ok()) ++failures;
+  }
+  // P(fail) = 0.3^4 ≈ 0.008.
+  EXPECT_LT(failures, 6);
+  EXPECT_GT(bus.naks(), 30);
+}
+
+TEST(GumsenseBus, DeadBusSurfacesErrors) {
+  Fixture f;
+  GumsenseBusConfig config;
+  config.nak_probability = 1.0;
+  GumsenseBus bus{f.msp, util::Rng{3}, config};
+  EXPECT_FALSE(bus.read_samples().ok());
+  EXPECT_FALSE(bus.set_schedule(core::DaySchedule{}).ok());
+  EXPECT_FALSE(bus.read_rtc().ok());
+  EXPECT_FALSE(bus.set_rtc(f.simulation.now()).ok());
+  // The MSP state was never touched.
+  EXPECT_FALSE(f.msp.wake_schedule().has_value());
+}
+
+}  // namespace
+}  // namespace gw::hw

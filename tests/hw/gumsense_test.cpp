@@ -1,0 +1,102 @@
+#include "hw/gumsense.h"
+
+#include <gtest/gtest.h>
+
+#include "env/environment.h"
+#include "power/chargers.h"
+
+namespace gw::hw {
+namespace {
+
+struct Fixture {
+  sim::Simulation simulation{sim::at_midnight(2009, 9, 22)};
+  env::Environment environment{1};
+  power::PowerSystemConfig config;
+  power::PowerSystem power{simulation, environment, config};
+  Gumsense board{simulation, power, util::Rng{4}};
+};
+
+TEST(Gumsense, DailyWakeFiresAtNoon) {
+  Fixture f;
+  std::vector<sim::SimTime> wakes;
+  f.board.set_daily_wake(sim::hours(12), [&] {
+    wakes.push_back(f.simulation.now());
+    f.board.gumstix().power_off();
+  });
+  f.simulation.run_until(f.simulation.now() + sim::days(3));  // 3 noons
+  ASSERT_EQ(wakes.size(), 3u);
+  for (const auto& wake : wakes) {
+    // Wake handler runs after boot (25 s) at ~noon; drift is tiny.
+    EXPECT_NEAR(sim::time_of_day(wake).to_hours(), 12.0, 0.05);
+  }
+}
+
+TEST(Gumsense, WakeRearmsDaily) {
+  Fixture f;
+  int wakes = 0;
+  f.board.set_daily_wake(sim::hours(12), [&] {
+    ++wakes;
+    f.board.gumstix().power_off();
+  });
+  f.simulation.run_until(f.simulation.now() + sim::days(7));
+  EXPECT_EQ(wakes, 7);
+  EXPECT_TRUE(f.board.wake_armed());
+}
+
+TEST(Gumsense, BrownOutCancelsScheduleUntilRecovery) {
+  Fixture f;
+  int wakes = 0;
+  int cold_boots = 0;
+  f.board.set_daily_wake(sim::hours(12), [&] {
+    ++wakes;
+    f.board.gumstix().power_off();
+  });
+  f.board.set_cold_boot_handler([&] { ++cold_boots; });
+
+  // Kill the battery at 06:00.
+  f.simulation.run_until(f.simulation.now() + sim::hours(6));
+  f.power.battery().set_soc(0.0);
+  f.power.tick(sim::minutes(1));
+  ASSERT_TRUE(f.power.browned_out());
+
+  // Noon passes with no wake; the schedule is gone.
+  f.simulation.run_until(f.simulation.now() + sim::days(2));
+  EXPECT_EQ(wakes, 0);
+  EXPECT_FALSE(f.board.wake_armed());
+  EXPECT_FALSE(f.board.msp().wake_schedule().has_value());
+  // RTC restarted near the epoch (§IV).
+  EXPECT_LT(f.board.msp().rtc_now(), sim::at_midnight(2000, 1, 1));
+
+  // Recharge: cold-boot handler fires.
+  f.power.battery().set_soc(0.2);
+  f.power.tick(sim::minutes(1));
+  EXPECT_EQ(cold_boots, 1);
+}
+
+TEST(Gumsense, GumstixPoweredOffDuringBrownOut) {
+  Fixture f;
+  f.board.gumstix().power_on();
+  f.power.battery().set_soc(0.0);
+  f.power.tick(sim::minutes(1));
+  EXPECT_EQ(f.board.gumstix().state(), Gumstix::State::kOff);
+}
+
+TEST(Gumsense, RescheduleReplacesPendingWake) {
+  Fixture f;
+  int noon_wakes = 0;
+  int evening_wakes = 0;
+  f.board.set_daily_wake(sim::hours(12), [&] {
+    ++noon_wakes;
+    f.board.gumstix().power_off();
+  });
+  f.board.set_daily_wake(sim::hours(18), [&] {
+    ++evening_wakes;
+    f.board.gumstix().power_off();
+  });
+  f.simulation.run_until(f.simulation.now() + sim::days(1));
+  EXPECT_EQ(noon_wakes, 0);
+  EXPECT_EQ(evening_wakes, 1);
+}
+
+}  // namespace
+}  // namespace gw::hw

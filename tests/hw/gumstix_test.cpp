@@ -1,0 +1,87 @@
+#include "hw/gumstix.h"
+
+#include <gtest/gtest.h>
+
+#include "env/environment.h"
+
+namespace gw::hw {
+namespace {
+
+struct Fixture {
+  sim::Simulation simulation{sim::at_midnight(2009, 9, 22)};
+  env::Environment environment{1};
+  power::PowerSystemConfig config;
+  power::PowerSystem power{simulation, environment, config};
+};
+
+TEST(Gumstix, StartsOff) {
+  Fixture f;
+  Gumstix gumstix{f.simulation, f.power};
+  EXPECT_EQ(gumstix.state(), Gumstix::State::kOff);
+  EXPECT_FALSE(gumstix.running());
+  EXPECT_DOUBLE_EQ(f.power.total_load_power().value(), 0.0);
+}
+
+TEST(Gumstix, BootTakesConfiguredTime) {
+  Fixture f;
+  Gumstix gumstix{f.simulation, f.power};
+  const sim::SimTime booted = gumstix.power_on();
+  EXPECT_EQ(booted - f.simulation.now(), sim::seconds(25));
+  EXPECT_EQ(gumstix.state(), Gumstix::State::kBooting);
+  f.simulation.run_until(booted);
+  EXPECT_TRUE(gumstix.running());
+}
+
+TEST(Gumstix, DrawsTableOnePowerWhileOn) {
+  Fixture f;
+  Gumstix gumstix{f.simulation, f.power};
+  gumstix.power_on();
+  EXPECT_DOUBLE_EQ(f.power.total_load_power().value(), 0.9);  // Table 1
+  gumstix.power_off();
+  EXPECT_DOUBLE_EQ(f.power.total_load_power().value(), 0.0);
+}
+
+TEST(Gumstix, PowerOnWhileRunningIsIdempotent) {
+  Fixture f;
+  Gumstix gumstix{f.simulation, f.power};
+  f.simulation.run_until(gumstix.power_on());
+  ASSERT_TRUE(gumstix.running());
+  const sim::SimTime again = gumstix.power_on();
+  EXPECT_EQ(again, f.simulation.now());
+  EXPECT_EQ(gumstix.boot_count(), 1);
+}
+
+TEST(Gumstix, PowerCutDuringBootAborts) {
+  Fixture f;
+  Gumstix gumstix{f.simulation, f.power};
+  const sim::SimTime booted = gumstix.power_on();
+  f.simulation.run_until(f.simulation.now() + sim::seconds(10));
+  gumstix.power_off();
+  f.simulation.run_until(booted + sim::seconds(1));
+  EXPECT_EQ(gumstix.state(), Gumstix::State::kOff);
+  EXPECT_FALSE(gumstix.running());
+}
+
+TEST(Gumstix, UptimeAccumulatesAcrossWindows) {
+  Fixture f;
+  Gumstix gumstix{f.simulation, f.power};
+  for (int day = 0; day < 3; ++day) {
+    gumstix.power_on();
+    f.simulation.run_until(f.simulation.now() + sim::hours(1));
+    gumstix.power_off();
+    f.simulation.run_until(f.simulation.now() + sim::hours(23));
+  }
+  EXPECT_EQ(gumstix.boot_count(), 3);
+  EXPECT_NEAR(gumstix.uptime().to_hours(), 3.0, 1e-9);
+}
+
+TEST(Gumstix, UptimeIncludesCurrentSession) {
+  Fixture f;
+  Gumstix gumstix{f.simulation, f.power};
+  gumstix.power_on();
+  f.simulation.run_until(f.simulation.now() + sim::minutes(30));
+  EXPECT_NEAR(gumstix.uptime().to_minutes(), 30.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace gw::hw

@@ -1,0 +1,109 @@
+#include "hw/msp430.h"
+
+#include <gtest/gtest.h>
+
+#include "env/environment.h"
+
+namespace gw::hw {
+namespace {
+
+struct Fixture {
+  sim::Simulation simulation{sim::at_midnight(2009, 9, 22)};
+  env::Environment environment{1};
+  power::PowerSystemConfig config;
+  power::PowerSystem power{simulation, environment, config};
+  Msp430 msp{simulation, power, util::Rng{7}};
+};
+
+TEST(Msp430, RtcStartsAtTrueTime) {
+  Fixture f;
+  EXPECT_EQ(f.msp.rtc_now(), f.simulation.now());
+}
+
+TEST(Msp430, RtcDriftStaysWithinPpmBound) {
+  Fixture f;
+  f.simulation.run_until(f.simulation.now() + sim::days(30));
+  // 8 ppm over 30 days = ±20.7 s max.
+  EXPECT_LE(std::abs(f.msp.rtc_error_ms()), 21'000);
+  EXPECT_NE(f.msp.rtc_error_ms(), 0);  // drift exists
+}
+
+TEST(Msp430, SetRtcDisciplinesClock) {
+  Fixture f;
+  f.simulation.run_until(f.simulation.now() + sim::days(10));
+  f.msp.set_rtc(f.simulation.now());
+  EXPECT_EQ(f.msp.rtc_error_ms(), 0);
+}
+
+TEST(Msp430, SamplesEveryThirtyMinutes) {
+  Fixture f;
+  f.simulation.run_until(f.simulation.now() + sim::days(1));
+  // §III: 48 samples per day.
+  EXPECT_EQ(f.msp.pending_samples(), 48u);
+  const auto samples = f.msp.drain_samples();
+  ASSERT_EQ(samples.size(), 48u);
+  for (const auto& sample : samples) {
+    EXPECT_GT(sample.voltage.value(), 10.0);
+    EXPECT_LT(sample.voltage.value(), 15.0);
+  }
+  EXPECT_EQ(f.msp.pending_samples(), 0u);
+}
+
+TEST(Msp430, RingBufferKeepsNewestWhenNotDrained) {
+  Fixture f;
+  // Capacity is 96 (two days); after 3 days un-drained only the newest 96
+  // survive — bounded RAM, no crash.
+  f.simulation.run_until(f.simulation.now() + sim::days(3));
+  EXPECT_EQ(f.msp.pending_samples(), 96u);
+}
+
+TEST(Msp430, BrownOutResetsRtcToEpochAndClearsState) {
+  Fixture f;
+  f.msp.set_wake_schedule(sim::hours(12));
+  f.simulation.run_until(f.simulation.now() + sim::hours(5));
+  ASSERT_GT(f.msp.pending_samples(), 0u);
+  f.msp.brown_out();
+  EXPECT_EQ(f.msp.rtc_now(), sim::kEpoch);
+  EXPECT_EQ(f.msp.pending_samples(), 0u);
+  EXPECT_FALSE(f.msp.wake_schedule().has_value());
+  EXPECT_EQ(f.msp.brown_out_count(), 1);
+  // §IV detection: RTC now reads before the last successful run.
+  EXPECT_LT(f.msp.rtc_now(), sim::at_midnight(2009, 9, 22));
+}
+
+TEST(Msp430, NextWakeIsAtScheduledTimeOfDay) {
+  Fixture f;  // starts at midnight
+  f.msp.set_wake_schedule(sim::hours(12));
+  const auto wake = f.msp.next_wake();
+  ASSERT_TRUE(wake.has_value());
+  // Drift over 12h is sub-second; the wake lands at ~noon.
+  EXPECT_NEAR((*wake - f.simulation.now()).to_hours(), 12.0, 0.01);
+}
+
+TEST(Msp430, NextWakeRollsToTomorrowWhenTimePassed) {
+  Fixture f;
+  f.simulation.run_until(f.simulation.now() + sim::hours(13));  // past noon
+  f.msp.set_wake_schedule(sim::hours(12));
+  const auto wake = f.msp.next_wake();
+  ASSERT_TRUE(wake.has_value());
+  EXPECT_NEAR((*wake - f.simulation.now()).to_hours(), 23.0, 0.01);
+}
+
+TEST(Msp430, NoWakeWithoutSchedule) {
+  Fixture f;
+  EXPECT_FALSE(f.msp.next_wake().has_value());
+}
+
+TEST(Msp430, SamplingPausesDuringBrownOut) {
+  Fixture f;
+  f.power.battery().set_soc(0.0);
+  // Force the brown-out edge.
+  f.power.tick(sim::minutes(1));
+  ASSERT_TRUE(f.power.browned_out());
+  f.msp.brown_out();
+  f.simulation.run_until(f.simulation.now() + sim::hours(6));
+  EXPECT_EQ(f.msp.pending_samples(), 0u);
+}
+
+}  // namespace
+}  // namespace gw::hw

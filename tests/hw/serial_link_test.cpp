@@ -1,0 +1,57 @@
+#include "hw/serial_link.h"
+
+#include <gtest/gtest.h>
+
+namespace gw::hw {
+namespace {
+
+using namespace util::literals;
+
+TEST(SerialLink, NominalFileTakesAbout28Seconds) {
+  // Calibration behind the §VI backlog limits: ~257 files per 2 h window.
+  SerialLink link{util::Rng{1}};
+  const auto duration = link.transfer_duration(165_KiB);
+  EXPECT_NEAR(duration.to_seconds(), 28.0, 1.0);
+  const int per_window = int(sim::hours(2).millis() / duration.millis());
+  EXPECT_NEAR(per_window, 257, 8);
+}
+
+TEST(SerialLink, DurationScalesWithSize) {
+  SerialLink link{util::Rng{1}};
+  EXPECT_LT(link.transfer_duration(80_KiB),
+            link.transfer_duration(200_KiB));
+  // Handshake floor for tiny files.
+  EXPECT_GE(link.transfer_duration(1_B), sim::milliseconds(1500));
+}
+
+TEST(SerialLink, ReliableByDefault) {
+  SerialLink link{util::Rng{2}};
+  for (int i = 0; i < 100; ++i) {
+    const auto outcome = link.attempt_transfer(165_KiB);
+    EXPECT_TRUE(outcome.success);
+    EXPECT_EQ(outcome.elapsed, link.transfer_duration(165_KiB));
+  }
+  EXPECT_EQ(link.transfers(), 100);
+  EXPECT_EQ(link.faults(), 0);
+}
+
+TEST(SerialLink, IntermittentCableFaults) {
+  SerialLinkConfig config;
+  config.fault_probability = 0.4;  // §VI fault injection
+  SerialLink link{util::Rng{3}, config};
+  int failures = 0;
+  for (int i = 0; i < 500; ++i) {
+    const auto outcome = link.attempt_transfer(165_KiB);
+    if (!outcome.success) {
+      ++failures;
+      // Partial time burned, never more than a full transfer.
+      EXPECT_GE(outcome.elapsed, sim::milliseconds(1500));
+      EXPECT_LE(outcome.elapsed, link.transfer_duration(165_KiB));
+    }
+  }
+  EXPECT_NEAR(failures / 500.0, 0.4, 0.06);
+  EXPECT_EQ(link.faults(), failures);
+}
+
+}  // namespace
+}  // namespace gw::hw

@@ -1,0 +1,114 @@
+// Property sweeps over the battery model: invariants that must hold for
+// any load, temperature and capacity in the operating envelope.
+#include <gtest/gtest.h>
+
+#include "power/battery.h"
+
+namespace gw::power {
+namespace {
+
+using util::Amps;
+using util::Celsius;
+
+struct BatteryCase {
+  double load_watts;
+  double temperature_c;
+  double capacity_ah;
+};
+
+class BatterySweep : public ::testing::TestWithParam<BatteryCase> {};
+
+TEST_P(BatterySweep, DischargeIsMonotoneAndBounded) {
+  const auto param = GetParam();
+  BatteryConfig config;
+  config.capacity = util::AmpHours{param.capacity_ah};
+  config.initial_soc = 1.0;
+  config.self_discharge_per_day = 0.0;
+  LeadAcidBattery battery{config};
+  const Amps load = util::Watts{param.load_watts} / util::Volts{12.0};
+  double previous_soc = battery.soc();
+  double previous_voltage = battery.terminal_voltage(-load).value();
+  for (int hour = 0; hour < 24 * 400 && !battery.empty(); ++hour) {
+    battery.step(Amps{0.0}, load, 1.0, Celsius{param.temperature_c});
+    const double soc = battery.soc();
+    const double voltage = battery.terminal_voltage(-load).value();
+    EXPECT_LE(soc, previous_soc);          // discharge never adds charge
+    EXPECT_LE(voltage, previous_voltage + 1e-9);  // voltage never rises
+    EXPECT_GE(soc, 0.0);
+    EXPECT_GT(voltage, 8.0);
+    previous_soc = soc;
+    previous_voltage = voltage;
+  }
+  EXPECT_TRUE(battery.empty());  // every constant load eventually wins
+}
+
+TEST_P(BatterySweep, LifetimeScalesInverselyWithLoad) {
+  const auto param = GetParam();
+  auto lifetime_hours = [&](double watts) {
+    BatteryConfig config;
+    config.capacity = util::AmpHours{param.capacity_ah};
+    config.initial_soc = 1.0;
+    config.self_discharge_per_day = 0.0;
+    LeadAcidBattery battery{config};
+    const Amps load = util::Watts{watts} / util::Volts{12.0};
+    double hours = 0.0;
+    while (!battery.empty() && hours < 24.0 * 2000) {
+      battery.step(Amps{0.0}, load, 1.0, Celsius{param.temperature_c});
+      hours += 1.0;
+    }
+    return hours;
+  };
+  const double at_load = lifetime_hours(param.load_watts);
+  const double at_double = lifetime_hours(2.0 * param.load_watts);
+  // Double the load, roughly half the life (integer-hour quantisation).
+  EXPECT_NEAR(at_load / at_double, 2.0, 0.1);
+}
+
+TEST_P(BatterySweep, ColdNeverExtendsLife) {
+  const auto param = GetParam();
+  auto lifetime = [&](double temp) {
+    BatteryConfig config;
+    config.capacity = util::AmpHours{param.capacity_ah};
+    config.initial_soc = 1.0;
+    config.self_discharge_per_day = 0.0;
+    LeadAcidBattery battery{config};
+    const Amps load = util::Watts{param.load_watts} / util::Volts{12.0};
+    double hours = 0.0;
+    while (!battery.empty() && hours < 24.0 * 2000) {
+      battery.step(Amps{0.0}, load, 1.0, Celsius{temp});
+      hours += 1.0;
+    }
+    return hours;
+  };
+  EXPECT_LE(lifetime(-20.0), lifetime(param.temperature_c) + 1.0);
+  EXPECT_LE(lifetime(param.temperature_c), lifetime(25.0) + 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OperatingEnvelope, BatterySweep,
+    ::testing::Values(BatteryCase{0.9, 25.0, 36.0},    // Gumstix, warm lab
+                      BatteryCase{3.6, 25.0, 36.0},    // dGPS, paper's case
+                      BatteryCase{3.6, -10.0, 36.0},   // dGPS in winter
+                      BatteryCase{0.16, -10.0, 36.0},  // Norway sleep draw
+                      BatteryCase{2.64, 0.0, 85.0},    // GPRS, big bank
+                      BatteryCase{7.56, -20.0, 36.0}   // everything on, cold
+                      ));
+
+TEST(BatteryProperty, ChargeDischargeCycleLosesEnergy) {
+  // Round-trip efficiency < 1 at every depth of discharge.
+  for (double depth = 0.1; depth <= 0.9; depth += 0.2) {
+    BatteryConfig config;
+    config.initial_soc = 1.0;
+    config.self_discharge_per_day = 0.0;
+    LeadAcidBattery battery{config};
+    // Discharge `depth` of the bank...
+    const double amp_hours = depth * 36.0;
+    battery.step(Amps{0.0}, Amps{amp_hours}, 1.0, Celsius{25.0});
+    // ...then offer exactly that charge back.
+    battery.step(Amps{amp_hours}, Amps{0.0}, 1.0, Celsius{25.0});
+    EXPECT_LT(battery.soc(), 1.0) << "depth " << depth;
+  }
+}
+
+}  // namespace
+}  // namespace gw::power

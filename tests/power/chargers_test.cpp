@@ -1,0 +1,100 @@
+#include "power/chargers.h"
+
+#include <gtest/gtest.h>
+
+namespace gw::power {
+namespace {
+
+TEST(SolarPanelCharger, ZeroAtNightScalesWithSun) {
+  env::Environment environment{42};
+  SolarPanel panel{SolarPanelConfig{}};
+  const auto day = sim::at_midnight(2009, 6, 21);
+  EXPECT_DOUBLE_EQ(panel.output(day, environment).value(), 0.0);
+  EXPECT_GT(panel.output(day + sim::hours(12), environment).value(), 0.5);
+}
+
+TEST(SolarPanelCharger, NeverExceedsRatedTimesMargin) {
+  env::Environment environment{42};
+  SolarPanel panel{SolarPanelConfig{}};
+  for (int hour = 0; hour < 24 * 10; ++hour) {
+    const auto t = sim::at_midnight(2009, 6, 1) + sim::hours(hour);
+    EXPECT_LE(panel.output(t, environment).value(), 10.0 * 1.2);
+    EXPECT_GE(panel.output(t, environment).value(), 0.0);
+  }
+}
+
+TEST(SolarPanelCharger, SnowOcclusionKillsWinterOutput) {
+  // Run a winter with heavy snow; occluded panel must produce less than the
+  // same panel in a snow-free environment.
+  env::EnvironmentConfig snowy;
+  snowy.snow.background_accumulation_m = 0.05;
+  env::Environment with_snow{snowy, 7};
+
+  env::EnvironmentConfig clear;
+  clear.snow.background_accumulation_m = 0.0;
+  clear.snow.storm_probability_per_day = 0.0;
+  env::Environment no_snow{clear, 7};
+
+  SolarPanel panel{SolarPanelConfig{}};
+  double snow_total = 0.0;
+  double clear_total = 0.0;
+  for (int day = 0; day < 90; ++day) {
+    const auto noon =
+        sim::at_midnight(2008, 12, 1) + sim::days(day) + sim::hours(12);
+    snow_total += panel.output(noon, with_snow).value();
+    clear_total += panel.output(noon, no_snow).value();
+  }
+  EXPECT_LT(snow_total, clear_total * 0.5);
+}
+
+TEST(WindTurbineCharger, PowerCurveShape) {
+  env::Environment environment{42};
+  WindTurbine turbine{WindTurbineConfig{}};
+  // Below cut-in.
+  // We can't inject speed directly; instead test the curve via config
+  // boundaries using a dedicated speed sweep on the formula-level contract:
+  // cut-in 3 m/s -> 0 W, rated 12 m/s -> 50 W, cubic in between, 0 beyond
+  // cut-out. Covered through many sampled hours: output within [0, rated].
+  for (int hour = 0; hour < 24 * 60; ++hour) {
+    const auto t = sim::at_midnight(2009, 1, 1) + sim::hours(hour);
+    const double w = turbine.output(t, environment).value();
+    EXPECT_GE(w, 0.0);
+    EXPECT_LE(w, 50.0);
+  }
+}
+
+TEST(WindTurbineCharger, BuriedTurbineProducesNothing) {
+  env::EnvironmentConfig config;
+  config.snow.background_accumulation_m = 0.2;  // bury fast
+  env::Environment environment{config, 3};
+  WindTurbine turbine{WindTurbineConfig{}};
+  // Snow integrates forward from the first query: walk from October so by
+  // late winter the turbine is buried (depth > 2 m) and output is 0.
+  (void)environment.snow().depth(sim::at_midnight(2008, 10, 1),
+                                 environment.temperature());
+  const auto t = sim::at_midnight(2009, 3, 1) + sim::hours(12);
+  ASSERT_TRUE(
+      environment.snow().turbine_buried(t, environment.temperature()));
+  EXPECT_DOUBLE_EQ(turbine.output(t, environment).value(), 0.0);
+}
+
+TEST(MainsChargerSeason, TouristSeasonOnly) {
+  env::Environment environment{42};
+  MainsCharger mains{MainsChargerConfig{}};
+  // §II: café power available April–September only.
+  EXPECT_DOUBLE_EQ(
+      mains.output(sim::at_midnight(2009, 1, 15), environment).value(), 0.0);
+  EXPECT_DOUBLE_EQ(
+      mains.output(sim::at_midnight(2009, 3, 31), environment).value(), 0.0);
+  EXPECT_GT(
+      mains.output(sim::at_midnight(2009, 4, 1), environment).value(), 0.0);
+  EXPECT_GT(
+      mains.output(sim::at_midnight(2009, 9, 30), environment).value(), 0.0);
+  EXPECT_DOUBLE_EQ(
+      mains.output(sim::at_midnight(2009, 10, 1), environment).value(), 0.0);
+  EXPECT_DOUBLE_EQ(
+      mains.output(sim::at_midnight(2009, 12, 25), environment).value(), 0.0);
+}
+
+}  // namespace
+}  // namespace gw::power

@@ -1,0 +1,124 @@
+#include "proto/messages.h"
+
+#include <gtest/gtest.h>
+
+#include "util/crc32.h"
+
+namespace gw::proto {
+namespace {
+
+TEST(Form, EncodeDecodeRoundTrip) {
+  Form form;
+  form.set("msg", "state_report");
+  form.set("station", "base");
+  form.set_int("state", 2);
+  const std::string wire = form.encode();
+  const auto decoded = Form::decode(wire);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().get("station").value_or(""), "base");
+  EXPECT_EQ(decoded.value().get_int("state").value_or(-1), 2);
+  EXPECT_EQ(decoded.value().size(), 3u);
+}
+
+TEST(Form, EmptyFormRoundTrips) {
+  Form form;
+  const auto decoded = Form::decode(form.encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().size(), 0u);
+}
+
+TEST(Form, CrcDetectsCorruption) {
+  Form form;
+  form.set("station", "base");
+  form.set_int("state", 3);
+  std::string wire = form.encode();
+  wire[8] ^= 0x01;  // flip a bit in the body
+  EXPECT_FALSE(Form::decode(wire).ok());
+}
+
+TEST(Form, MissingCrcRejected) {
+  EXPECT_FALSE(Form::decode("station=base&state=3").ok());
+}
+
+TEST(Form, MalformedFieldRejected) {
+  // Body "stationbase" has no '=': re-encode with valid CRC to isolate the
+  // field parser.
+  const std::string body = "stationbase";
+  char crc[16];
+  std::snprintf(crc, sizeof(crc), "%08x", util::crc32(body));
+  EXPECT_FALSE(Form::decode(body + "#" + crc).ok());
+}
+
+TEST(Form, MissingKeyAndBadIntAreNullopt) {
+  Form form;
+  form.set("note", "not-a-number");
+  const auto decoded = Form::decode(form.encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_FALSE(decoded.value().get("absent").has_value());
+  EXPECT_FALSE(decoded.value().get_int("note").has_value());
+}
+
+TEST(StateReportMsg, RoundTrip) {
+  StateReport report;
+  report.station = "reference";
+  report.state = core::PowerState::kState1;
+  report.day_ms = 1253620800000;
+  const auto decoded = StateReport::decode(report.encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().station, "reference");
+  EXPECT_EQ(decoded.value().state, core::PowerState::kState1);
+  EXPECT_EQ(decoded.value().day_ms, 1253620800000);
+}
+
+TEST(StateReportMsg, WrongTypeRejected) {
+  OverrideRequest request;
+  request.station = "base";
+  EXPECT_FALSE(StateReport::decode(request.encode()).ok());
+}
+
+TEST(OverrideMsgs, RoundTrip) {
+  OverrideRequest request;
+  request.station = "base";
+  const auto decoded_request = OverrideRequest::decode(request.encode());
+  ASSERT_TRUE(decoded_request.ok());
+  EXPECT_EQ(decoded_request.value().station, "base");
+
+  OverrideResponse response;
+  response.has_override = true;
+  response.state = core::PowerState::kState2;
+  const auto decoded = OverrideResponse::decode(response.encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded.value().has_override);
+  EXPECT_EQ(decoded.value().state, core::PowerState::kState2);
+}
+
+TEST(OverrideMsgs, NoOverrideCase) {
+  OverrideResponse response;
+  response.has_override = false;
+  const auto decoded = OverrideResponse::decode(response.encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_FALSE(decoded.value().has_override);
+}
+
+TEST(WireSize, IncludesHttpOverhead) {
+  StateReport report;
+  report.station = "base";
+  const auto size = wire_size(report.encode());
+  EXPECT_GT(size.count(), 180);
+  EXPECT_LT(size.count(), 500);
+}
+
+TEST(StateReportMsg, StateOutOfRangeClamps) {
+  // A tampered wire with state=9 must clamp, not crash (from_int).
+  Form form;
+  form.set("msg", "state_report");
+  form.set("station", "base");
+  form.set_int("state", 9);
+  form.set_int("rtc_ms", 0);
+  const auto decoded = StateReport::decode(form.encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().state, core::PowerState::kState3);
+}
+
+}  // namespace
+}  // namespace gw::proto

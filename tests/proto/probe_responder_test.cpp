@@ -1,0 +1,136 @@
+#include "proto/probe_responder.h"
+
+#include <gtest/gtest.h>
+
+namespace gw::proto {
+namespace {
+
+void fill(ProbeStore& store, std::uint32_t n) {
+  for (std::uint32_t seq = 0; seq < n; ++seq) {
+    ProbeReading reading;
+    reading.probe_id = 21;
+    reading.seq = seq;
+    reading.conductivity_us = 1.0 + 0.01 * seq;
+    store.add(reading);
+  }
+}
+
+Frame decode_or_die(const std::vector<std::uint8_t>& wire) {
+  auto decoded = decode_frame(wire);
+  EXPECT_TRUE(decoded.ok());
+  return decoded.value();
+}
+
+TEST(ProbeResponder, QueryStreamsEverythingPending) {
+  ProbeStore store;
+  fill(store, 50);
+  ProbeResponder responder{store, 21};
+  const auto query = decode_or_die(encode_query_pending(21));
+  const auto frames = responder.handle(query);
+  ASSERT_EQ(frames.size(), 50u);
+  const auto first = decode_or_die(frames.front());
+  EXPECT_EQ(first.type, FrameType::kReadingData);
+  const auto parsed = parse_reading(first.payload);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().seq, 0u);
+  // Streaming does NOT release anything (§V: only confirmation does).
+  EXPECT_EQ(store.pending_count(), 50u);
+}
+
+TEST(ProbeResponder, IgnoresOtherProbesFrames) {
+  ProbeStore store;
+  fill(store, 5);
+  ProbeResponder responder{store, 21};
+  const auto query = decode_or_die(encode_query_pending(24));
+  EXPECT_TRUE(responder.handle(query).empty());
+}
+
+TEST(ProbeResponder, ResendRequestReturnsExactReading) {
+  ProbeStore store;
+  fill(store, 10);
+  ProbeResponder responder{store, 21};
+  const auto request = decode_or_die(encode_resend_request(21, 7));
+  const auto frames = responder.handle(request);
+  ASSERT_EQ(frames.size(), 1u);
+  const auto parsed =
+      parse_reading(decode_or_die(frames.front()).payload);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().seq, 7u);
+  EXPECT_DOUBLE_EQ(parsed.value().conductivity_us, 1.07);
+}
+
+TEST(ProbeResponder, ResendOfUnknownSeqIsSilence) {
+  ProbeStore store;
+  fill(store, 3);
+  ProbeResponder responder{store, 21};
+  const auto request = decode_or_die(encode_resend_request(21, 999));
+  EXPECT_TRUE(responder.handle(request).empty());
+}
+
+TEST(ProbeResponder, ConfirmReleasesAndAcks) {
+  ProbeStore store;
+  fill(store, 10);
+  ProbeResponder responder{store, 21};
+  const std::vector<std::uint32_t> seqs = {1, 3, 5};
+  const auto confirm_frames = encode_confirm(21, seqs);
+  ASSERT_EQ(confirm_frames.size(), 1u);
+  const auto responses =
+      responder.handle(decode_or_die(confirm_frames.front()));
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(decode_or_die(responses.front()).type, FrameType::kAck);
+  EXPECT_EQ(store.pending_count(), 7u);
+  EXPECT_EQ(store.find(1), nullptr);
+  EXPECT_NE(store.find(0), nullptr);
+}
+
+TEST(ProbeResponder, LargeConfirmChunksAcrossFrames) {
+  ProbeStore store;
+  fill(store, 200);
+  ProbeResponder responder{store, 21};
+  std::vector<std::uint32_t> seqs;
+  for (std::uint32_t s = 0; s < 150; ++s) seqs.push_back(s);
+  const auto frames = encode_confirm(21, seqs);
+  EXPECT_EQ(frames.size(), 3u);  // 56 + 56 + 38
+  for (const auto& wire : frames) {
+    (void)responder.handle(decode_or_die(wire));
+  }
+  EXPECT_EQ(store.pending_count(), 50u);
+  EXPECT_EQ(responder.confirms_processed(), 3u);
+}
+
+TEST(ProbeResponder, FullDialogueEndToEnd) {
+  // Query -> stream -> (receiver misses some) -> resend -> confirm -> empty.
+  ProbeStore store;
+  fill(store, 100);
+  ProbeResponder responder{store, 21};
+
+  std::set<std::uint32_t> received;
+  const auto stream =
+      responder.handle(decode_or_die(encode_query_pending(21)));
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    if (i % 7 == 3) continue;  // "lost" frames
+    const auto parsed =
+        parse_reading(decode_or_die(stream[i]).payload);
+    ASSERT_TRUE(parsed.ok());
+    received.insert(parsed.value().seq);
+  }
+  // Re-request the gaps.
+  for (std::uint32_t seq = 0; seq < 100; ++seq) {
+    if (received.contains(seq)) continue;
+    const auto frames =
+        responder.handle(decode_or_die(encode_resend_request(21, seq)));
+    ASSERT_EQ(frames.size(), 1u);
+    received.insert(
+        parse_reading(decode_or_die(frames.front()).payload).value().seq);
+  }
+  EXPECT_EQ(received.size(), 100u);
+  // Confirm everything.
+  std::vector<std::uint32_t> all(received.begin(), received.end());
+  for (const auto& wire : encode_confirm(21, all)) {
+    (void)responder.handle(decode_or_die(wire));
+  }
+  EXPECT_TRUE(store.empty());
+}
+
+}  // namespace
+}  // namespace gw::proto

@@ -1,0 +1,63 @@
+#include "proto/probe_store.h"
+
+#include <gtest/gtest.h>
+
+namespace gw::proto {
+namespace {
+
+ProbeReading make_reading(std::uint32_t seq) {
+  ProbeReading reading;
+  reading.probe_id = 21;
+  reading.seq = seq;
+  reading.conductivity_us = 1.5;
+  return reading;
+}
+
+TEST(ProbeStore, AddAndPending) {
+  ProbeStore store;
+  EXPECT_TRUE(store.empty());
+  store.add(make_reading(1));
+  store.add(make_reading(2));
+  EXPECT_EQ(store.pending_count(), 2u);
+  EXPECT_EQ(store.pending().front().seq, 1u);
+}
+
+TEST(ProbeStore, FindBySeq) {
+  ProbeStore store;
+  store.add(make_reading(7));
+  ASSERT_NE(store.find(7), nullptr);
+  EXPECT_EQ(store.find(7)->seq, 7u);
+  EXPECT_EQ(store.find(8), nullptr);
+}
+
+TEST(ProbeStore, ConfirmReleasesOnlyNamedReadings) {
+  ProbeStore store;
+  for (std::uint32_t seq = 0; seq < 10; ++seq) store.add(make_reading(seq));
+  const std::size_t released = store.confirm_delivered({1, 3, 5});
+  EXPECT_EQ(released, 3u);
+  EXPECT_EQ(store.pending_count(), 7u);
+  EXPECT_EQ(store.find(1), nullptr);
+  EXPECT_NE(store.find(0), nullptr);
+  EXPECT_EQ(store.delivered_total(), 3u);
+}
+
+TEST(ProbeStore, ConfirmUnknownSeqsIsNoOp) {
+  ProbeStore store;
+  store.add(make_reading(1));
+  EXPECT_EQ(store.confirm_delivered({99}), 0u);
+  EXPECT_EQ(store.pending_count(), 1u);
+}
+
+TEST(ProbeStore, TaskIncompleteSemantics) {
+  // §V: a failed session leaves everything unconfirmed pending for the next
+  // day — nothing is lost by a truncated fetch.
+  ProbeStore store;
+  for (std::uint32_t seq = 0; seq < 3000; ++seq) store.add(make_reading(seq));
+  std::set<std::uint32_t> partial;
+  for (std::uint32_t seq = 0; seq < 2600; ++seq) partial.insert(seq);
+  EXPECT_EQ(store.confirm_delivered(partial), 2600u);
+  EXPECT_EQ(store.pending_count(), 400u);  // tomorrow's work
+}
+
+}  // namespace
+}  // namespace gw::proto

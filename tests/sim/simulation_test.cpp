@@ -1,0 +1,115 @@
+#include "sim/simulation.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace gw::sim {
+namespace {
+
+TEST(Simulation, RunsEventsInTimeOrder) {
+  Simulation simulation;
+  std::vector<int> order;
+  simulation.schedule_at(SimTime{300}, [&] { order.push_back(3); });
+  simulation.schedule_at(SimTime{100}, [&] { order.push_back(1); });
+  simulation.schedule_at(SimTime{200}, [&] { order.push_back(2); });
+  simulation.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulation, TiesBreakInSchedulingOrder) {
+  Simulation simulation;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    simulation.schedule_at(SimTime{500}, [&order, i] { order.push_back(i); });
+  }
+  simulation.run_all();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[std::size_t(i)], i);
+}
+
+TEST(Simulation, ClockAdvancesToEventTime) {
+  Simulation simulation{SimTime{1000}};
+  SimTime seen{};
+  simulation.schedule_in(Duration{500}, [&] { seen = simulation.now(); });
+  simulation.run_all();
+  EXPECT_EQ(seen, SimTime{1500});
+  EXPECT_EQ(simulation.now(), SimTime{1500});
+}
+
+TEST(Simulation, SchedulingInThePastThrows) {
+  Simulation simulation{SimTime{1000}};
+  EXPECT_THROW(simulation.schedule_at(SimTime{999}, [] {}),
+               std::invalid_argument);
+}
+
+TEST(Simulation, RunUntilStopsAtDeadlineAndAdvancesClock) {
+  Simulation simulation;
+  int fired = 0;
+  simulation.schedule_at(SimTime{100}, [&] { ++fired; });
+  simulation.schedule_at(SimTime{900}, [&] { ++fired; });
+  simulation.run_until(SimTime{500});
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(simulation.now(), SimTime{500});
+  simulation.run_until(SimTime{1000});
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulation, EventsScheduledDuringRunExecute) {
+  Simulation simulation;
+  int depth = 0;
+  simulation.schedule_at(SimTime{10}, [&] {
+    ++depth;
+    simulation.schedule_in(Duration{10}, [&] { ++depth; });
+  });
+  simulation.run_all();
+  EXPECT_EQ(depth, 2);
+}
+
+TEST(Simulation, CancelPreventsExecution) {
+  Simulation simulation;
+  bool fired = false;
+  const EventId id = simulation.schedule_at(SimTime{50}, [&] { fired = true; });
+  simulation.cancel(id);
+  simulation.run_all();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulation, CancelUnknownIdIsNoOp) {
+  Simulation simulation;
+  simulation.cancel(EventId{12345});
+  bool fired = false;
+  simulation.schedule_at(SimTime{1}, [&] { fired = true; });
+  simulation.run_all();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulation, PeriodicSelfRescheduling) {
+  Simulation simulation;
+  int ticks = 0;
+  std::function<void()> tick = [&] {
+    ++ticks;
+    if (ticks < 48) simulation.schedule_in(minutes(30), tick);
+  };
+  simulation.schedule_in(minutes(30), tick);
+  simulation.run_until(kEpoch + days(1));
+  EXPECT_EQ(ticks, 48);  // one day of 30-minute voltage samples
+}
+
+TEST(Simulation, RunAllBudgetGuard) {
+  Simulation simulation;
+  std::function<void()> forever = [&] {
+    simulation.schedule_in(Duration{1}, forever);
+  };
+  simulation.schedule_in(Duration{1}, forever);
+  EXPECT_THROW(simulation.run_all(1000), std::runtime_error);
+}
+
+TEST(Simulation, EventsExecutedCounter) {
+  Simulation simulation;
+  for (int i = 0; i < 5; ++i) simulation.schedule_at(SimTime{i}, [] {});
+  simulation.run_all();
+  EXPECT_EQ(simulation.events_executed(), 5u);
+}
+
+}  // namespace
+}  // namespace gw::sim

@@ -1,0 +1,61 @@
+#include "station/field_report.h"
+
+#include <gtest/gtest.h>
+
+namespace gw::station {
+namespace {
+
+TEST(FieldReport, RendersAllSections) {
+  DeploymentConfig config;
+  config.seed = 3;
+  config.trace_enabled = false;
+  Deployment deployment{config};
+  deployment.run_days(10.0);
+
+  const std::string report = FieldReport{deployment}.render();
+  for (const auto* needle :
+       {"GLACSWEB FIELD REPORT", "[base station]", "[reference station]",
+        "[subglacial probes]", "[southampton]", "power state", "dGPS:",
+        "GPRS:", "energy:", "probe 20", "probe 26", "/7 alive",
+        "received"}) {
+    EXPECT_NE(report.find(needle), std::string::npos) << needle;
+  }
+}
+
+TEST(FieldReport, ShowsBrownOutMarker) {
+  DeploymentConfig config;
+  config.seed = 3;
+  config.trace_enabled = false;
+  config.base.power.battery.capacity = util::AmpHours{1.0};
+  config.base.power.battery.initial_soc = 0.02;
+  config.start = sim::DateTime{2009, 1, 1, 0, 0, 0};  // winter: no recharge
+  Deployment deployment{config};
+  deployment.run_days(8.0);
+  if (deployment.base().power().browned_out()) {
+    const std::string report = FieldReport{deployment}.render();
+    EXPECT_NE(report.find("** BROWNED OUT **"), std::string::npos);
+  }
+}
+
+TEST(FieldReport, CountsMatchLedgers) {
+  DeploymentConfig config;
+  config.seed = 4;
+  config.trace_enabled = false;
+  config.base.gprs.registration_success = 1.0;
+  config.base.gprs.drop_per_minute = 0.0;
+  Deployment deployment{config};
+  deployment.run_days(5.0);
+  const std::string report = FieldReport{deployment}.render();
+  // The per-probe delivered counts printed must sum to the base station's
+  // ledger figure.
+  std::size_t delivered_sum = 0;
+  for (const auto& probe : deployment.probes()) {
+    delivered_sum += probe->store().delivered_total();
+  }
+  EXPECT_EQ(delivered_sum,
+            deployment.base().stats().probe_readings_delivered);
+  EXPECT_NE(report.find(std::to_string(delivered_sum)), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gw::station

@@ -1,0 +1,109 @@
+#include "station/probe_node.h"
+
+#include <gtest/gtest.h>
+
+namespace gw::station {
+namespace {
+
+struct Fixture {
+  sim::Simulation simulation{sim::at_midnight(2008, 9, 1)};
+  env::Environment environment{7};
+
+  ProbeNode make_probe(int id = 21, double scale_days = 488.0) {
+    ProbeNodeConfig config;
+    config.probe_id = id;
+    config.weibull_scale_days = scale_days;
+    return ProbeNode{simulation, environment,
+                     util::Rng{std::uint64_t(id) * 31}, config};
+  }
+};
+
+TEST(ProbeNode, SamplesHourly) {
+  Fixture f;
+  auto probe = f.make_probe();
+  f.simulation.run_until(f.simulation.now() + sim::days(1));
+  // 24 samples/day at the default interval (if it survived day 1, which at
+  // scale 488 d it almost surely did for this seed).
+  ASSERT_TRUE(probe.alive());
+  EXPECT_EQ(probe.store().pending_count(), 24u);
+  EXPECT_EQ(probe.readings_sampled(), 24u);
+}
+
+TEST(ProbeNode, ReadingsCarrySensorSuite) {
+  Fixture f;
+  auto probe = f.make_probe();
+  f.simulation.run_until(f.simulation.now() + sim::hours(3));
+  ASSERT_GE(probe.store().pending_count(), 2u);
+  const auto& reading = probe.store().pending().front();
+  EXPECT_EQ(reading.probe_id, 21);
+  EXPECT_GE(reading.conductivity_us, 0.0);
+  EXPECT_GT(reading.pressure_kpa, 400.0);
+  EXPECT_LT(reading.temperature_c, 1.0);  // basal ice is near melting point
+}
+
+TEST(ProbeNode, SequenceNumbersMonotone) {
+  Fixture f;
+  auto probe = f.make_probe();
+  f.simulation.run_until(f.simulation.now() + sim::days(2));
+  const auto& pending = probe.store().pending();
+  for (std::size_t i = 1; i < pending.size(); ++i) {
+    EXPECT_EQ(pending[i].seq, pending[i - 1].seq + 1);
+  }
+}
+
+TEST(ProbeNode, DeadProbeStopsSampling) {
+  Fixture f;
+  auto probe = f.make_probe(22, /*scale_days=*/5.0);  // dies fast
+  f.simulation.run_until(f.simulation.now() + sim::days(60));
+  EXPECT_FALSE(probe.alive());
+  const auto count = probe.store().pending_count();
+  f.simulation.run_until(f.simulation.now() + sim::days(10));
+  EXPECT_EQ(probe.store().pending_count(), count);  // no new samples
+}
+
+TEST(ProbeNode, SurvivalMatchesPaperAtOneYear) {
+  // §V: 4/7 probes alive after one year, 2 still reporting at 18 months.
+  // Weibull(2, 488 d): S(365) ≈ 0.57, S(547) ≈ 0.28.
+  int alive_1y = 0;
+  int alive_18m = 0;
+  constexpr int kTrials = 700;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    sim::Simulation simulation{sim::at_midnight(2008, 9, 1)};
+    env::Environment environment{7};
+    ProbeNodeConfig config;
+    config.probe_id = trial;
+    config.sample_interval = sim::days(3650);  // no samples: fast run
+    ProbeNode probe{simulation, environment,
+                    util::Rng{std::uint64_t(trial) + 1000}, config};
+    simulation.run_until(simulation.now() + sim::days(365));
+    if (probe.alive()) ++alive_1y;
+    simulation.run_until(simulation.now() + sim::days(182));
+    if (probe.alive()) ++alive_18m;
+  }
+  EXPECT_NEAR(alive_1y / double(kTrials), 4.0 / 7.0, 0.06);
+  EXPECT_NEAR(alive_18m / double(kTrials), 2.0 / 7.0, 0.06);
+}
+
+TEST(ProbeNode, ConductivityRisesWithSpringMelt) {
+  Fixture fixture;
+  auto probe = fixture.make_probe(24, /*scale_days=*/5000.0);  // immortal
+  // Run Jan 27 -> Apr 21 (the Fig 6 window) plus a tail into May.
+  sim::Simulation& simulation = fixture.simulation;
+  simulation.run_until(sim::at_midnight(2009, 1, 27));
+  (void)probe.store().confirm_delivered({});  // no-op, keep readings
+  const std::size_t start_index = probe.store().pending_count();
+  simulation.run_until(sim::at_midnight(2009, 5, 20));
+  const auto& pending = probe.store().pending();
+  ASSERT_GT(pending.size(), start_index + 100);
+  // Average the first and last 200 readings of the window.
+  double early = 0.0;
+  double late = 0.0;
+  for (std::size_t i = 0; i < 200; ++i) {
+    early += pending[start_index + i].conductivity_us;
+    late += pending[pending.size() - 1 - i].conductivity_us;
+  }
+  EXPECT_GT(late / 200.0, early / 200.0 + 2.0);  // Fig 6 melt onset
+}
+
+}  // namespace
+}  // namespace gw::station

@@ -1,0 +1,78 @@
+#include "station/southampton.h"
+
+#include <gtest/gtest.h>
+
+namespace gw::station {
+namespace {
+
+using namespace util::literals;
+
+TEST(Southampton, DataLedger) {
+  SouthamptonServer server;
+  server.receive_file("base", "dgps_1", 165_KiB, sim::SimTime{1000});
+  server.receive_file("base", "probes_1", 40_KiB, sim::SimTime{2000});
+  server.receive_file("reference", "dgps_r", 165_KiB, sim::SimTime{3000});
+  EXPECT_EQ(server.files_from("base"), 2);
+  EXPECT_EQ(server.files_from("reference"), 1);
+  EXPECT_EQ(server.bytes_from("base"), 205_KiB);
+  EXPECT_EQ(server.bytes_from("ghost").count(), 0);
+  EXPECT_EQ(server.received().size(), 3u);
+}
+
+TEST(Southampton, SpecialQueueFifoPerStation) {
+  SouthamptonServer server;
+  server.queue_special("base", {.id = "s1", .script = "df -h"});
+  server.queue_special("base", {.id = "s2", .script = "uptime"});
+  server.queue_special("reference", {.id = "r1", .script = "ls"});
+  auto first = server.fetch_special("base");
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->id, "s1");
+  EXPECT_EQ(server.fetch_special("base")->id, "s2");
+  EXPECT_FALSE(server.fetch_special("base").has_value());
+  EXPECT_EQ(server.fetch_special("reference")->id, "r1");
+}
+
+TEST(Southampton, SpecialResultsRecorded) {
+  SouthamptonServer server;
+  core::SpecialExecution execution;
+  execution.id = "s1";
+  execution.executed_at = sim::SimTime{5000};
+  execution.results_visible_at = sim::SimTime{5000} + sim::days(1);
+  server.record_special_result(execution);
+  ASSERT_EQ(server.special_results().size(), 1u);
+  EXPECT_EQ(
+      (server.special_results()[0].results_visible_at -
+       server.special_results()[0].executed_at).to_hours(),
+      24.0);
+}
+
+TEST(Southampton, UpdateQueueAndBeacons) {
+  SouthamptonServer server;
+  core::UpdatePackage package;
+  package.name = "basestation.py";
+  package.payload = "new code";
+  package.expected_md5 = util::Md5::hex_digest("new code");
+  server.queue_update("base", package);
+  const auto fetched = server.fetch_update("base");
+  ASSERT_TRUE(fetched.has_value());
+  EXPECT_EQ(fetched->name, "basestation.py");
+  EXPECT_FALSE(server.fetch_update("base").has_value());
+
+  core::UpdateBeacon beacon;
+  beacon.name = "basestation.py";
+  beacon.md5 = package.expected_md5;
+  beacon.verified = true;
+  server.receive_beacon(beacon, sim::SimTime{7777});
+  ASSERT_EQ(server.beacons().size(), 1u);
+  EXPECT_TRUE(server.beacons()[0].beacon.verified);
+}
+
+TEST(Southampton, SyncLedgerAccessible) {
+  SouthamptonServer server;
+  server.sync().report_state("base", core::PowerState::kState3);
+  server.sync().report_state("reference", core::PowerState::kState1);
+  EXPECT_EQ(*server.sync().override_for_client(), core::PowerState::kState1);
+}
+
+}  // namespace
+}  // namespace gw::station

@@ -1,0 +1,37 @@
+#include "util/crc32.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace gw::util {
+namespace {
+
+TEST(Crc32, KnownVectors) {
+  // Standard IEEE CRC-32 check value.
+  EXPECT_EQ(crc32("123456789"), 0xcbf43926u);
+  EXPECT_EQ(crc32(""), 0x00000000u);
+  EXPECT_EQ(crc32("a"), 0xe8b7be43u);
+}
+
+TEST(Crc32, DetectsSingleBitFlip) {
+  std::string packet(256, 'p');
+  const std::uint32_t original = crc32(packet);
+  for (std::size_t byte : {0u, 100u, 255u}) {
+    std::string corrupted = packet;
+    corrupted[byte] ^= 0x40;
+    EXPECT_NE(crc32(corrupted), original) << "byte " << byte;
+  }
+}
+
+TEST(Crc32, SeedChaining) {
+  // Chained CRC over two halves must differ from unseeded CRC of the second
+  // half alone.
+  const std::string a = "first-half";
+  const std::string b = "second-half";
+  const std::uint32_t chained = crc32(b, crc32(a));
+  EXPECT_NE(chained, crc32(b));
+}
+
+}  // namespace
+}  // namespace gw::util

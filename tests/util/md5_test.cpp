@@ -1,0 +1,71 @@
+#include "util/md5.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace gw::util {
+namespace {
+
+// RFC 1321 appendix A.5 test suite.
+TEST(Md5, Rfc1321Vectors) {
+  EXPECT_EQ(Md5::hex_digest(""), "d41d8cd98f00b204e9800998ecf8427e");
+  EXPECT_EQ(Md5::hex_digest("a"), "0cc175b9c0f1b6a831c399e269772661");
+  EXPECT_EQ(Md5::hex_digest("abc"), "900150983cd24fb0d6963f7d28e17f72");
+  EXPECT_EQ(Md5::hex_digest("message digest"),
+            "f96b697d7cb7938d525a2f31aaf161d0");
+  EXPECT_EQ(Md5::hex_digest("abcdefghijklmnopqrstuvwxyz"),
+            "c3fcd3d76192e4007dfb496cca67e13b");
+  EXPECT_EQ(
+      Md5::hex_digest(
+          "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"),
+      "d174ab98d277d9f5a5611c2c9f419d9f");
+  EXPECT_EQ(Md5::hex_digest("1234567890123456789012345678901234567890"
+                            "1234567890123456789012345678901234567890"),
+            "57edf4a22be3c955ac49da2e2107b67a");
+}
+
+TEST(Md5, IncrementalMatchesOneShot) {
+  const std::string payload(10000, 'x');
+  Md5 incremental;
+  for (std::size_t offset = 0; offset < payload.size(); offset += 37) {
+    incremental.update(std::string_view(payload).substr(offset, 37));
+  }
+  EXPECT_EQ(Md5::to_hex(incremental.finish()), Md5::hex_digest(payload));
+}
+
+TEST(Md5, BlockBoundarySizes) {
+  // Exercise the padding branch on both sides of the 56-byte boundary.
+  for (std::size_t n : {55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u, 128u}) {
+    const std::string payload(n, 'q');
+    Md5 incremental;
+    incremental.update(payload);
+    EXPECT_EQ(Md5::to_hex(incremental.finish()), Md5::hex_digest(payload))
+        << "length " << n;
+  }
+}
+
+TEST(Md5, UpdateAfterFinishThrows) {
+  Md5 md5;
+  md5.update("abc");
+  (void)md5.finish();
+  EXPECT_THROW(md5.update("more"), std::logic_error);
+}
+
+TEST(Md5, FinishTwiceThrows) {
+  Md5 md5;
+  (void)md5.finish();
+  EXPECT_THROW((void)md5.finish(), std::logic_error);
+}
+
+TEST(Md5, CorruptionChangesDigest) {
+  // The deployment's update pipeline (§VI) relies on any corruption
+  // changing the digest.
+  std::string firmware(4096, 'f');
+  const std::string original = Md5::hex_digest(firmware);
+  firmware[2048] ^= 0x01;
+  EXPECT_NE(Md5::hex_digest(firmware), original);
+}
+
+}  // namespace
+}  // namespace gw::util

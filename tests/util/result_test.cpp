@@ -1,0 +1,54 @@
+#include "util/result.h"
+
+#include <gtest/gtest.h>
+
+namespace gw::util {
+namespace {
+
+Result<int> parse_positive(int x) {
+  if (x <= 0) return make_error("not positive");
+  return x;
+}
+
+TEST(Result, OkPath) {
+  const auto r = parse_positive(5);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(static_cast<bool>(r));
+  EXPECT_EQ(r.value(), 5);
+}
+
+TEST(Result, ErrorPath) {
+  const auto r = parse_positive(-1);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().message, "not positive");
+}
+
+TEST(Result, ValueOnErrorThrows) {
+  const auto r = parse_positive(-1);
+  EXPECT_THROW((void)r.value(), std::logic_error);
+}
+
+TEST(Result, ValueOr) {
+  EXPECT_EQ(parse_positive(-1).value_or(99), 99);
+  EXPECT_EQ(parse_positive(3).value_or(99), 3);
+}
+
+TEST(Result, TakeMovesOut) {
+  Result<std::string> r = std::string("payload");
+  const std::string s = std::move(r).take();
+  EXPECT_EQ(s, "payload");
+}
+
+TEST(Status, DefaultIsOk) {
+  const Status s;
+  EXPECT_TRUE(s.ok());
+}
+
+TEST(Status, Failure) {
+  const Status s = Status::failure("gprs registration failed");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.error().message, "gprs registration failed");
+}
+
+}  // namespace
+}  // namespace gw::util

@@ -1,0 +1,141 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace gw::util {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a{42};
+  Rng b{42};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a{1};
+  Rng b{2};
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ForkIsDeterministicAndIndependentOfDraws) {
+  Rng parent{7};
+  const Rng fork_before = parent.fork("wind");
+  parent.next_u64();
+  parent.next_u64();
+  const Rng fork_after = parent.fork("wind");
+  Rng a = fork_before;
+  Rng b = fork_after;
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, ForkStreamsAreDistinct) {
+  Rng parent{7};
+  Rng wind = parent.fork("wind");
+  Rng solar = parent.fork("solar");
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (wind.next_u64() == solar.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng{123};
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng{123};
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng{5};
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(11.5, 12.5);
+    EXPECT_GE(v, 11.5);
+    EXPECT_LT(v, 12.5);
+  }
+}
+
+TEST(Rng, UniformIndexInBounds) {
+  Rng rng{9};
+  std::vector<int> histogram(7, 0);
+  for (int i = 0; i < 70000; ++i) {
+    const auto index = rng.uniform_index(7);
+    ASSERT_LT(index, 7u);
+    ++histogram[index];
+  }
+  for (int count : histogram) {
+    EXPECT_NEAR(count, 10000, 500);
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng{11};
+  int hits = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    if (rng.bernoulli(0.133)) ++hits;
+  }
+  // The paper's summer probe-link loss: 400/3000 ≈ 0.133.
+  EXPECT_NEAR(double(hits) / kN, 0.133, 0.005);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng{13};
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / kN;
+  const double variance = sum_sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 3.0, 0.05);
+  EXPECT_NEAR(std::sqrt(variance), 2.0, 0.05);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng{17};
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.exponential(0.5);
+  EXPECT_NEAR(sum / kN, 2.0, 0.05);
+}
+
+TEST(Rng, WeibullMean) {
+  Rng rng{19};
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  // Weibull(k=2, lambda=6.5): mean = lambda * Gamma(1.5) ≈ 5.76.
+  for (int i = 0; i < kN; ++i) sum += rng.weibull(2.0, 6.5);
+  EXPECT_NEAR(sum / kN, 6.5 * 0.886227, 0.06);
+}
+
+TEST(Rng, Fnv1aStableValues) {
+  // Known FNV-1a 64-bit test vector.
+  EXPECT_EQ(fnv1a(""), 0xcbf29ce484222325ULL);
+  EXPECT_NE(fnv1a("wind"), fnv1a("solar"));
+}
+
+}  // namespace
+}  // namespace gw::util

@@ -1,0 +1,68 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace gw::util {
+namespace {
+
+TEST(Summary, BasicMoments) {
+  Summary s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.001);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Summary, Percentiles) {
+  Summary s;
+  for (int i = 0; i <= 100; ++i) s.add(double(i));
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50.0), 50.0);
+  EXPECT_DOUBLE_EQ(s.median(), 50.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100.0), 100.0);
+  EXPECT_DOUBLE_EQ(s.percentile(95.0), 95.0);
+}
+
+TEST(Summary, PercentileInterpolates) {
+  Summary s;
+  s.add(0.0);
+  s.add(10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50.0), 5.0);
+  EXPECT_DOUBLE_EQ(s.percentile(25.0), 2.5);
+}
+
+TEST(Summary, SingleSample) {
+  Summary s;
+  s.add(12.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 12.5);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.median(), 12.5);
+}
+
+TEST(Summary, EmptyThrows) {
+  Summary s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_THROW((void)s.mean(), std::logic_error);
+  EXPECT_THROW((void)s.percentile(50.0), std::logic_error);
+}
+
+TEST(Summary, BadPercentileThrows) {
+  Summary s;
+  s.add(1.0);
+  EXPECT_THROW((void)s.percentile(-1.0), std::invalid_argument);
+  EXPECT_THROW((void)s.percentile(101.0), std::invalid_argument);
+}
+
+TEST(Summary, AddAfterQuery) {
+  Summary s;
+  s.add(3.0);
+  s.add(1.0);
+  EXPECT_DOUBLE_EQ(s.median(), 2.0);
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.median(), 3.0);
+}
+
+}  // namespace
+}  // namespace gw::util

@@ -1,0 +1,87 @@
+#include "util/units.h"
+
+#include <gtest/gtest.h>
+
+namespace gw::util {
+namespace {
+
+using namespace gw::util::literals;
+
+TEST(Units, SameTypeArithmetic) {
+  EXPECT_DOUBLE_EQ((Volts{12.0} + Volts{0.5}).value(), 12.5);
+  EXPECT_DOUBLE_EQ((Volts{12.0} - Volts{0.5}).value(), 11.5);
+  EXPECT_DOUBLE_EQ((Volts{12.0} * 2.0).value(), 24.0);
+  EXPECT_DOUBLE_EQ((2.0 * Volts{12.0}).value(), 24.0);
+  EXPECT_DOUBLE_EQ((Volts{12.0} / 2.0).value(), 6.0);
+  EXPECT_DOUBLE_EQ(Volts{12.0} / Volts{6.0}, 2.0);
+}
+
+TEST(Units, Comparison) {
+  EXPECT_LT(Volts{11.5}, Volts{12.0});
+  EXPECT_GE(Watts{3.6}, Watts{3.6});
+  EXPECT_EQ(Amps{0.3}, Amps{0.3});
+}
+
+TEST(Units, CompoundAssignment) {
+  Joules total{10.0};
+  total += Joules{5.0};
+  EXPECT_DOUBLE_EQ(total.value(), 15.0);
+  total -= Joules{3.0};
+  EXPECT_DOUBLE_EQ(total.value(), 12.0);
+}
+
+TEST(Units, OhmsLaw) {
+  // Table 1 sanity: the dGPS draws 3.6 W, i.e. 300 mA at 12 V.
+  const Amps current = Watts{3.6} / Volts{12.0};
+  EXPECT_DOUBLE_EQ(current.value(), 0.3);
+  EXPECT_DOUBLE_EQ((Volts{12.0} * Amps{0.3}).value(), 3.6);
+  EXPECT_DOUBLE_EQ((Watts{3.6} / Amps{0.3}).value(), 12.0);
+}
+
+TEST(Units, IrDrop) {
+  const Volts drop = Amps{0.3} * Ohms{0.25};
+  EXPECT_DOUBLE_EQ(drop.value(), 0.075);
+}
+
+TEST(Units, EnergyAndCharge) {
+  EXPECT_DOUBLE_EQ(energy(Watts{3.6}, 3600.0).value(), 12960.0);
+  EXPECT_DOUBLE_EQ(charge(Amps{0.3}, 120.0).value(), 36.0);
+  EXPECT_DOUBLE_EQ(to_watt_hours(Joules{3600.0}).value(), 1.0);
+  EXPECT_DOUBLE_EQ(to_joules(WattHours{1.0}).value(), 3600.0);
+  EXPECT_DOUBLE_EQ(to_joules(AmpHours{1.0}, Volts{12.0}).value(), 43200.0);
+}
+
+TEST(Units, PaperDepletionArithmetic) {
+  // §III: continuous dGPS (3.6 W) depletes 36 Ah in 5 days.
+  const Amps gps = Watts{3.6} / Volts{12.0};
+  const double hours = AmpHours{36.0}.value() / gps.value();
+  EXPECT_DOUBLE_EQ(hours / 24.0, 5.0);
+}
+
+TEST(Units, BytesBasics) {
+  EXPECT_EQ((165_KiB).count(), 165 * 1024);
+  EXPECT_EQ((1_MiB).count(), 1024 * 1024);
+  EXPECT_DOUBLE_EQ((512_B).kib(), 0.5);
+  EXPECT_EQ((100_B + 28_B).count(), 128);
+  EXPECT_EQ((100_B - 28_B).count(), 72);
+  Bytes accumulator{0};
+  accumulator += 165_KiB;
+  EXPECT_EQ(accumulator, 165_KiB);
+}
+
+TEST(Units, TransferSeconds) {
+  // A 165 KiB dGPS file over 5000 bps GPRS takes ~270 s (§III numbers).
+  const double s = transfer_seconds(165_KiB, 5000_bps);
+  EXPECT_NEAR(s, 270.3, 0.1);
+}
+
+TEST(Units, Literals) {
+  EXPECT_DOUBLE_EQ((900_mW).value(), 0.9);
+  EXPECT_DOUBLE_EQ((12.5_V).value(), 12.5);
+  EXPECT_DOUBLE_EQ((300_mA).value(), 0.3);
+  EXPECT_DOUBLE_EQ((36_Ah).value(), 36.0);
+  EXPECT_DOUBLE_EQ((5000_bps).value(), 5000.0);
+}
+
+}  // namespace
+}  // namespace gw::util
