@@ -6,6 +6,7 @@
 // scenarios: normal operation, the state-0 gate ("Power state = 0 ->
 // Stop"), and the §VI reordering (special before upload).
 #include <cstdio>
+#include <memory>
 
 #include "bench_util.h"
 #include "station/station.h"
@@ -17,6 +18,14 @@ struct Rig {
   sim::Simulation simulation{sim::at_midnight(2009, 9, 22)};
   env::Environment environment{5};
   station::SouthamptonServer server;
+};
+
+// A scenario keeps its rig and station alive until the end-of-run JSON
+// export (BenchReport sections hold pointers into the stations).
+struct Scenario {
+  std::unique_ptr<Rig> rig = std::make_unique<Rig>();
+  std::unique_ptr<station::Station> station;
+  std::unique_ptr<station::ProbeNode> probe;
 };
 
 station::StationConfig reliable(const std::string& name,
@@ -40,11 +49,13 @@ void print_steps(const station::Station& s) {
 void run() {
   bench::heading("Fig 4: daily execution sequence");
 
+  Scenario normal;
   {
-    Rig rig;
-    station::Station base{rig.simulation, rig.environment, rig.server,
-                          util::Rng{1},
-                          reliable("base", station::StationRole::kBaseStation)};
+    Rig& rig = *normal.rig;
+    normal.station = std::make_unique<station::Station>(
+        rig.simulation, rig.environment, rig.server, util::Rng{1},
+        reliable("base", station::StationRole::kBaseStation));
+    station::Station& base = *normal.station;
     power::MainsChargerConfig mains{.season_start_month = 1,
                                     .season_end_month = 12};
     base.add_charger(std::make_unique<power::MainsCharger>(mains));
@@ -52,19 +63,21 @@ void run() {
     station::ProbeNodeConfig probe_config;
     probe_config.probe_id = 21;
     probe_config.weibull_scale_days = 5000.0;
-    station::ProbeNode probe{rig.simulation, rig.environment, util::Rng{21},
-                             probe_config};
-    base.add_probe(probe);
+    normal.probe = std::make_unique<station::ProbeNode>(
+        rig.simulation, rig.environment, util::Rng{21}, probe_config);
+    base.add_probe(*normal.probe);
     rig.simulation.run_until(rig.simulation.now() + sim::days(1));
     bench::subheading("base station, normal day (deployed Fig 4 order)");
     print_steps(base);
   }
 
+  Scenario ref;
   {
-    Rig rig;
-    station::Station reference{
+    Rig& rig = *ref.rig;
+    ref.station = std::make_unique<station::Station>(
         rig.simulation, rig.environment, rig.server, util::Rng{2},
-        reliable("reference", station::StationRole::kReferenceStation)};
+        reliable("reference", station::StationRole::kReferenceStation));
+    station::Station& reference = *ref.station;
     power::MainsChargerConfig mains{.season_start_month = 1,
                                     .season_end_month = 12};
     reference.add_charger(std::make_unique<power::MainsCharger>(mains));
@@ -74,13 +87,15 @@ void run() {
     print_steps(reference);
   }
 
+  Scenario state0;
   {
-    Rig rig;
+    Rig& rig = *state0.rig;
     auto config = reliable("base", station::StationRole::kBaseStation);
     config.power.battery.initial_soc = 0.06;  // collapsed cell: state 0
     config.initial_state = core::PowerState::kState0;
-    station::Station starved{rig.simulation, rig.environment, rig.server,
-                             util::Rng{3}, config};
+    state0.station = std::make_unique<station::Station>(
+        rig.simulation, rig.environment, rig.server, util::Rng{3}, config);
+    station::Station& starved = *state0.station;
     starved.start();
     rig.simulation.run_until(rig.simulation.now() + sim::days(1));
     bench::subheading("state-0 day ('Power state = 0 -> Stop')");
@@ -90,12 +105,14 @@ void run() {
                 " (paper: none in state 0)");
   }
 
+  Scenario special;
   {
-    Rig rig;
+    Rig& rig = *special.rig;
     auto config = reliable("base", station::StationRole::kBaseStation);
     config.execute_special_before_upload = true;
-    station::Station reordered{rig.simulation, rig.environment, rig.server,
-                               util::Rng{4}, config};
+    special.station = std::make_unique<station::Station>(
+        rig.simulation, rig.environment, rig.server, util::Rng{4}, config);
+    station::Station& reordered = *special.station;
     power::MainsChargerConfig mains{.season_start_month = 1,
                                     .season_end_month = 12};
     reordered.add_charger(std::make_unique<power::MainsCharger>(mains));
@@ -114,6 +131,18 @@ void run() {
           " h (deployed ordering: 24 h, Sec VI)");
     }
   }
+
+  // --- machine-readable export (glacsweb.bench.v1) -----------------------
+  obs::BenchReport report;
+  report.bench = "fig4_daily_run";
+  report.meta = {{"paper", "Fig 4"}, {"window", "one daily run per scenario"}};
+  report.sections = {
+      {"base_normal", &normal.station->metrics(), &normal.station->journal()},
+      {"reference_normal", &ref.station->metrics(), &ref.station->journal()},
+      {"state0", &state0.station->metrics(), &state0.station->journal()},
+      {"special_reordered", &special.station->metrics(),
+       &special.station->journal()}};
+  bench::export_report(report);
 }
 
 }  // namespace

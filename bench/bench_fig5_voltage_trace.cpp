@@ -13,6 +13,7 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "sim/trace_export.h"
 #include "station/deployment.h"
 #include "util/strings.h"
 
@@ -121,6 +122,21 @@ void run() {
                            "12 (2-hour dips)",
                            std::to_string(gps_day_readings) +
                                " (incl. fetch-time bonus reading)");
+
+  // --- machine-readable export (glacsweb.bench.v1) -----------------------
+  obs::BenchReport report;
+  report.bench = "fig5_voltage_trace";
+  report.meta = {{"paper", "Fig 5"},
+                 {"window", "2009-09-22..2009-09-26"},
+                 {"seed", std::to_string(deployment.config().seed)}};
+  report.sections = {
+      {"base", &deployment.base().metrics(), &deployment.base().journal()},
+      {"reference", &deployment.reference().metrics(),
+       &deployment.reference().journal()}};
+  report.series = sim::to_obs_series(
+      trace, std::vector<std::string>{"base.voltage", "base.state"},
+      window_start, window_end);
+  bench::export_report(report);
 }
 
 }  // namespace

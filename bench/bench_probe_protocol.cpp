@@ -48,12 +48,19 @@ const sim::SimTime kSummerNoon =
     sim::at_midnight(2009, 7, 20) + sim::hours(12);
 const sim::SimTime kWinterNoon = sim::at_midnight(2009, 2, 1) + sim::hours(12);
 
+// One registry/journal shared by every experiment: the exported JSON then
+// aggregates all protocol sessions the bench ran.
+obs::MetricsRegistry g_metrics;
+obs::EventJournal g_journal;
+
+obs::Hooks hooks() { return {&g_metrics, &g_journal}; }
+
 void headline() {
   bench::subheading("1. the 3000-reading summer fetch");
   Rig rig;
   rig.to_summer();
   rig.fill(3000);
-  proto::NackBulkTransfer protocol{rig.link};
+  proto::NackBulkTransfer protocol{rig.link, proto::NackConfig{}, hooks()};
   const auto stats = protocol.run(rig.store, kSummerNoon, sim::hours(6));
   bench::paper_vs_measured("missed packets in first stream", "~400 common",
                            std::to_string(stats.missing_after_stream));
@@ -65,6 +72,11 @@ void headline() {
   bench::note("after retry rounds: delivered " +
               std::to_string(stats.delivered) + "/3000, airtime " +
               util::format_fixed(stats.airtime.to_minutes(), 1) + " min");
+  g_metrics.gauge("headline", "missing_after_stream")
+      .set(double(stats.missing_after_stream));
+  g_metrics.gauge("headline", "loss_pct")
+      .set(100.0 * double(stats.missing_after_stream) / 3000.0);
+  g_metrics.gauge("headline", "delivered").set(double(stats.delivered));
 }
 
 void nack_vs_ack(const char* season, sim::SimTime when, bool summer) {
@@ -76,8 +88,9 @@ void nack_vs_ack(const char* season, sim::SimTime when, bool summer) {
   }
   nack_rig.fill(3000);
   saw_rig.fill(3000);
-  proto::NackBulkTransfer nack{nack_rig.link};
-  proto::StopAndWaitTransfer saw{saw_rig.link};
+  proto::NackBulkTransfer nack{nack_rig.link, proto::NackConfig{}, hooks()};
+  proto::StopAndWaitTransfer saw{saw_rig.link, proto::StopAndWaitConfig{},
+                                 hooks()};
   const auto nack_stats = nack.run(nack_rig.store, when, sim::hours(12));
   const auto saw_stats = saw.run(saw_rig.store, when, sim::hours(12));
 
@@ -108,7 +121,7 @@ void firmware_failure() {
   rig.fill(3000);
   proto::NackConfig legacy;
   legacy.legacy_individual_limit = 100;  // tested regime only
-  proto::NackBulkTransfer protocol{rig.link, legacy};
+  proto::NackBulkTransfer protocol{rig.link, legacy, hooks()};
   int day = 0;
   while (!rig.store.empty() && day < 10) {
     const auto stats = protocol.run(
@@ -138,7 +151,7 @@ void seasonal_sweep() {
     }
     const double loss = rig.link.loss_probability(target + sim::hours(12));
     rig.fill(3000);
-    proto::NackBulkTransfer protocol{rig.link};
+    proto::NackBulkTransfer protocol{rig.link, proto::NackConfig{}, hooks()};
     const auto stats =
         protocol.run(rig.store, target + sim::hours(12), sim::hours(2));
     bench::row({sim::format_iso(target).substr(0, 7),
@@ -204,7 +217,7 @@ void strategy_sweep() {
     proto::NackConfig config;
     config.rerequest_all_ratio = ratio;
     config.max_rounds = 6;
-    proto::NackBulkTransfer protocol{rig.link, config};
+    proto::NackBulkTransfer protocol{rig.link, config, hooks()};
     const auto stats = protocol.run(rig.store, kSummerNoon, sim::hours(12));
     bench::row({util::format_fixed(ratio, 2),
                 util::format_fixed(stats.airtime.to_minutes(), 1),
@@ -237,7 +250,7 @@ void strategy_sweep() {
     proto::NackConfig config;
     config.rerequest_all_ratio = ratio;
     config.max_rounds = 8;
-    proto::NackBulkTransfer protocol{bad_link, config};
+    proto::NackBulkTransfer protocol{bad_link, config, hooks()};
     const auto stats = protocol.run(store, kSummerNoon, sim::hours(12));
     bench::row({util::format_fixed(ratio, 2),
                 util::format_fixed(stats.airtime.to_minutes(), 1),
@@ -261,6 +274,16 @@ void run() {
   seasonal_sweep();
   wired_vs_radio();
   strategy_sweep();
+
+  // --- machine-readable export (glacsweb.bench.v1) -----------------------
+  obs::BenchReport report;
+  report.bench = "probe_protocol";
+  report.meta = {{"paper", "Sec V"},
+                 {"experiments",
+                  "headline,nack_vs_ack,firmware_failure,seasonal_sweep,"
+                  "strategy_sweep"}};
+  report.sections = {{"protocol", &g_metrics, &g_journal}};
+  bench::export_report(report);
 }
 
 }  // namespace

@@ -1,12 +1,16 @@
 // Shared formatting helpers for the reproduction benches. Each bench binary
 // regenerates one table/figure/claim from the paper and prints it in a form
-// directly comparable with the original (see EXPERIMENTS.md).
+// directly comparable with the original (see EXPERIMENTS.md), and — for the
+// instrumented benches — drops a machine-readable BENCH_<name>.json beside
+// it (schema glacsweb.bench.v1, see docs/OBSERVABILITY.md) so the numbers
+// are diffable across PRs.
 #pragma once
 
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "obs/export.h"
 #include "util/strings.h"
 
 namespace gw::bench {
@@ -40,6 +44,19 @@ inline void paper_vs_measured(const std::string& what,
                               const std::string& measured) {
   std::printf("  %-46s paper: %-18s measured: %s\n", what.c_str(),
               paper.c_str(), measured.c_str());
+}
+
+// Writes the report as BENCH_<name>.json in the working directory and says
+// so on stdout (or warns and keeps going — the printed tables remain the
+// human-facing output either way).
+inline void export_report(const obs::BenchReport& report) {
+  const std::string path = obs::write_bench_json(report);
+  if (path.empty()) {
+    std::printf("\n  [warn] could not write BENCH_%s.json\n",
+                report.bench.c_str());
+  } else {
+    std::printf("\n  wrote %s (schema glacsweb.bench.v1)\n", path.c_str());
+  }
 }
 
 }  // namespace gw::bench

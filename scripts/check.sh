@@ -1,0 +1,94 @@
+#!/usr/bin/env bash
+# Repo hygiene checks, runnable standalone or as the `repo_check` ctest:
+#
+#   1. clang-format --dry-run -Werror over src/ tests/ bench/ examples/
+#      (skipped with a notice when clang-format is not installed — the
+#      build container does not ship it);
+#   2. documentation link/anchor check over docs/*.md and README.md:
+#      every relative file link must resolve, every intra-doc #anchor must
+#      match a heading in the target file (needs python3, also gated).
+#
+# Exits non-zero on any real failure; missing tools skip their check.
+set -u
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo_root"
+
+failures=0
+
+# --- 1. formatting --------------------------------------------------------
+if command -v clang-format >/dev/null 2>&1; then
+  echo "== clang-format --dry-run -Werror (src tests bench examples)"
+  files=$(find src tests bench examples -name '*.h' -o -name '*.cpp' | sort)
+  if ! clang-format --dry-run -Werror $files; then
+    echo "FAIL: formatting (run clang-format -i on the files above)"
+    failures=$((failures + 1))
+  else
+    echo "ok: $(echo "$files" | wc -l) files formatted"
+  fi
+else
+  echo "skip: clang-format not installed"
+fi
+
+# --- 2. doc links/anchors -------------------------------------------------
+if command -v python3 >/dev/null 2>&1; then
+  echo "== markdown link/anchor check (docs/*.md README.md)"
+  if ! python3 - docs/*.md README.md <<'PYEOF'; then
+import os
+import re
+import sys
+
+def anchors(path):
+    """GitHub-style anchor slugs for every heading in a markdown file."""
+    slugs = set()
+    in_code = False
+    for line in open(path, encoding="utf-8"):
+        if line.lstrip().startswith("```"):
+            in_code = not in_code
+            continue
+        if in_code:
+            continue
+        m = re.match(r"#{1,6}\s+(.*)", line)
+        if m:
+            text = re.sub(r"[`*_]", "", m.group(1)).strip().lower()
+            slug = re.sub(r"[^\w\- ]", "", text).replace(" ", "-")
+            slugs.add(slug)
+    return slugs
+
+bad = 0
+for doc in sys.argv[1:]:
+    base = os.path.dirname(doc)
+    in_code = False
+    for lineno, line in enumerate(open(doc, encoding="utf-8"), 1):
+        if line.lstrip().startswith("```"):
+            in_code = not in_code
+            continue
+        if in_code:
+            continue
+        for target in re.findall(r"\[[^\]]*\]\(([^)\s]+)\)", line):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            path, _, frag = target.partition("#")
+            full = os.path.normpath(os.path.join(base, path)) if path else doc
+            if not os.path.exists(full):
+                print(f"{doc}:{lineno}: broken link -> {target}")
+                bad += 1
+            elif frag and full.endswith(".md") and frag not in anchors(full):
+                print(f"{doc}:{lineno}: broken anchor -> {target}")
+                bad += 1
+
+print(f"checked {len(sys.argv) - 1} files, {bad} broken link(s)")
+sys.exit(1 if bad else 0)
+PYEOF
+    echo "FAIL: documentation links"
+    failures=$((failures + 1))
+  fi
+else
+  echo "skip: python3 not installed"
+fi
+
+if [ "$failures" -ne 0 ]; then
+  echo "check.sh: $failures check(s) failed"
+  exit 1
+fi
+echo "check.sh: all checks passed"

@@ -80,6 +80,16 @@ class ActionSequence {
     return completed_;
   }
 
+  // Simulated time each completed step spanned, in completion order — the
+  // raw material for the station's per-step latency histograms.
+  struct StepDuration {
+    std::string name;
+    sim::Duration elapsed;
+  };
+  [[nodiscard]] const std::vector<StepDuration>& step_durations() const {
+    return durations_;
+  }
+
  private:
   struct Step {
     std::string name;
@@ -90,9 +100,13 @@ class ActionSequence {
     if (!running_) return;
     pending_.reset();
     while (index_ < steps_.size()) {
+      if (!step_started_.has_value()) step_started_ = simulation_.now();
       const auto duration = steps_[index_].chunk();
       if (!duration.has_value()) {
         completed_.push_back(steps_[index_].name);
+        durations_.push_back(StepDuration{
+            steps_[index_].name, simulation_.now() - *step_started_});
+        step_started_.reset();
         ++index_;
         continue;
       }
@@ -117,8 +131,10 @@ class ActionSequence {
   bool running_ = false;
   bool aborted_ = false;
   std::optional<sim::EventId> pending_;
+  std::optional<sim::SimTime> step_started_;
   std::function<void(bool)> on_done_;
   std::vector<std::string> completed_;
+  std::vector<StepDuration> durations_;
 };
 
 }  // namespace gw::core

@@ -16,6 +16,7 @@
 
 #include "hw/dgps.h"
 #include "hw/msp430.h"
+#include "obs/journal.h"
 #include "sim/simulation.h"
 #include "util/rng.h"
 
@@ -63,11 +64,18 @@ class RecoveryManager {
            msp_.rtc_now() < *last_successful_run_;
   }
 
+  // Optional instrumentation: attempt/resync/deferral counters under
+  // "recovery", plus journal records for each trigger outcome.
+  void set_hooks(obs::Hooks hooks) { hooks_ = hooks; }
+
   // One recovery attempt (the cold-boot path). Consumes device time
   // directly via the dGPS fix-acquisition model; the caller runs it inside
   // a daily-run step. On kDeferred the caller sleeps retry_interval.
   RecoveryOutcome attempt() {
     ++attempts_;
+    if (hooks_.metrics != nullptr) {
+      hooks_.metrics->counter("recovery", "attempts").increment();
+    }
     if (!rtc_untrusted()) return RecoveryOutcome::kClockTrusted;
 
     // GPS first (§IV): power it just for the fix.
@@ -78,6 +86,7 @@ class RecoveryManager {
     if (fix.ok()) {
       msp_.set_rtc(fix.value());
       ++gps_resyncs_;
+      record_outcome(RecoveryOutcome::kResyncedByGps);
       return RecoveryOutcome::kResyncedByGps;
     }
 
@@ -87,10 +96,12 @@ class RecoveryManager {
       // NTP disciplines to within protocol error; exact for our purposes.
       msp_.set_rtc(simulation_.now() + config_.ntp_time);
       ++ntp_resyncs_;
+      record_outcome(RecoveryOutcome::kResyncedByNtp);
       return RecoveryOutcome::kResyncedByNtp;
     }
 
     ++deferrals_;
+    record_outcome(RecoveryOutcome::kDeferred);
     return RecoveryOutcome::kDeferred;
   }
 
@@ -101,11 +112,41 @@ class RecoveryManager {
   [[nodiscard]] int deferrals() const { return deferrals_; }
 
  private:
+  void record_outcome(RecoveryOutcome outcome) {
+    const std::int64_t now_ms = simulation_.now().millis_since_epoch();
+    switch (outcome) {
+      case RecoveryOutcome::kResyncedByGps:
+      case RecoveryOutcome::kResyncedByNtp:
+        if (hooks_.metrics != nullptr) {
+          hooks_.metrics->counter("recovery", "resyncs").increment();
+        }
+        if (hooks_.journal != nullptr) {
+          hooks_.journal->record(
+              now_ms, obs::EventType::kRecoveryResync, "recovery",
+              outcome == RecoveryOutcome::kResyncedByNtp ? 1.0 : 0.0,
+              double(attempts_));
+        }
+        break;
+      case RecoveryOutcome::kDeferred:
+        if (hooks_.metrics != nullptr) {
+          hooks_.metrics->counter("recovery", "deferrals").increment();
+        }
+        if (hooks_.journal != nullptr) {
+          hooks_.journal->record(now_ms, obs::EventType::kRecoveryDeferred,
+                                 "recovery", double(attempts_));
+        }
+        break;
+      case RecoveryOutcome::kClockTrusted:
+        break;
+    }
+  }
+
   sim::Simulation& simulation_;
   hw::Msp430& msp_;
   hw::DgpsReceiver& dgps_;
   RecoveryConfig config_;
   util::Rng rng_;
+  obs::Hooks hooks_;
   std::optional<sim::SimTime> last_successful_run_;
   int attempts_ = 0;
   int gps_resyncs_ = 0;

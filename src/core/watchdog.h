@@ -12,6 +12,7 @@
 #include <functional>
 #include <optional>
 
+#include "obs/journal.h"
 #include "sim/simulation.h"
 
 namespace gw::core {
@@ -22,16 +23,31 @@ class Watchdog {
                     sim::Duration limit = sim::hours(2))
       : simulation_(simulation), limit_(limit) {}
 
+  // Optional instrumentation: arms/expiries to "watchdog" counters, each
+  // expiry to the journal (the §VI observable the benches report).
+  void set_hooks(obs::Hooks hooks) { hooks_ = hooks; }
+
   // Arms (or re-arms) the timer; on expiry runs `on_expire` exactly once.
   void arm(std::function<void()> on_expire) {
     disarm();
     expired_ = false;
     deadline_ = simulation_.now() + limit_;
+    if (hooks_.metrics != nullptr) {
+      hooks_.metrics->counter("watchdog", "arms").increment();
+    }
     pending_ = simulation_.schedule_in(limit_, [this,
                                                 fn = std::move(on_expire)] {
       pending_.reset();
       expired_ = true;
       ++expiry_count_;
+      if (hooks_.metrics != nullptr) {
+        hooks_.metrics->counter("watchdog", "expiries").increment();
+      }
+      if (hooks_.journal != nullptr) {
+        hooks_.journal->record(simulation_.now().millis_since_epoch(),
+                               obs::EventType::kWatchdogExpiry, "watchdog",
+                               limit_.to_seconds());
+      }
       fn();
     });
   }
@@ -59,6 +75,7 @@ class Watchdog {
  private:
   sim::Simulation& simulation_;
   sim::Duration limit_;
+  obs::Hooks hooks_;
   std::optional<sim::EventId> pending_;
   sim::SimTime deadline_{};
   bool expired_ = false;

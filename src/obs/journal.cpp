@@ -1,0 +1,33 @@
+#include "obs/journal.h"
+
+namespace gw::obs {
+
+const char* to_string(EventType type) {
+  switch (type) {
+    case EventType::kStateTransition:
+      return "state_transition";
+    case EventType::kSyncClamp:
+      return "sync_clamp";
+    case EventType::kRecoveryResync:
+      return "recovery_resync";
+    case EventType::kRecoveryDeferred:
+      return "recovery_deferred";
+    case EventType::kWatchdogExpiry:
+      return "watchdog_expiry";
+    case EventType::kRetransmitRound:
+      return "retransmit_round";
+    case EventType::kSessionAborted:
+      return "session_aborted";
+    case EventType::kBrownOut:
+      return "brown_out";
+    case EventType::kPowerRestored:
+      return "power_restored";
+    case EventType::kColdBoot:
+      return "cold_boot";
+    case EventType::kWindowExhausted:
+      return "window_exhausted";
+  }
+  return "unknown";
+}
+
+}  // namespace gw::obs

@@ -1,0 +1,103 @@
+// EventJournal: a bounded, typed record of the moments the paper's analysis
+// hangs off — state transitions (Fig 5's step plot), sync clamps (§III),
+// recovery triggers (§IV), NACK/retransmit rounds (§V), watchdog expiries
+// and brown-out/restore edges (§VI).
+//
+// Metrics answer "how many / how much"; the journal answers "when, in what
+// order". Records are typed (EventType + two numeric slots with per-type
+// meaning, see the table in docs/OBSERVABILITY.md) rather than free text so
+// exports are diffable and tests can assert on them without parsing log
+// prose. A capacity cap keeps multi-year runs bounded: the journal drops the
+// *oldest* records and counts the drops, mirroring how the real station's
+// logfile was rotated rather than allowed to eat the CF card.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace gw::obs {
+
+enum class EventType : int {
+  kStateTransition = 0,  // a = previous state, b = new state
+  kSyncClamp = 1,        // a = voltage-allowed state, b = clamped state
+  kRecoveryResync = 2,   // a = 0 GPS / 1 NTP, b = attempts so far
+  kRecoveryDeferred = 3, // a = attempts so far
+  kWatchdogExpiry = 4,   // a = limit in seconds
+  kRetransmitRound = 5,  // a = round number, b = readings still missing
+  kSessionAborted = 6,   // a = readings on the individual-fetch list (§V)
+  kBrownOut = 7,         // a = brown-out count
+  kPowerRestored = 8,    // a = state of charge at restore
+  kColdBoot = 9,         // a = cold-boot count
+  kWindowExhausted = 10, // a = files left queued, b = bytes left queued
+};
+
+[[nodiscard]] const char* to_string(EventType type);
+
+struct Event {
+  std::int64_t time_ms = 0;  // SimTime::millis_since_epoch() of the edge
+  EventType type = EventType::kStateTransition;
+  std::string component;  // same naming domain as metrics ("watchdog", ...)
+  double a = 0.0;         // per-type meaning, see EventType
+  double b = 0.0;
+};
+
+class EventJournal {
+ public:
+  explicit EventJournal(std::size_t capacity = 65536)
+      : capacity_(capacity) {}
+
+  void record(std::int64_t time_ms, EventType type, std::string component,
+              double a = 0.0, double b = 0.0) {
+    events_.push_back(Event{time_ms, type, std::move(component), a, b});
+    ++total_recorded_;
+    if (events_.size() > capacity_) {
+      events_.pop_front();
+      ++dropped_;
+    }
+  }
+
+  [[nodiscard]] const std::deque<Event>& events() const { return events_; }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+  [[nodiscard]] std::uint64_t total_recorded() const {
+    return total_recorded_;
+  }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  [[nodiscard]] std::size_t count(EventType type) const {
+    std::size_t n = 0;
+    for (const auto& event : events_) {
+      if (event.type == type) ++n;
+    }
+    return n;
+  }
+
+  [[nodiscard]] std::vector<Event> of_type(EventType type) const {
+    std::vector<Event> matching;
+    for (const auto& event : events_) {
+      if (event.type == type) matching.push_back(event);
+    }
+    return matching;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::deque<Event> events_;
+  std::uint64_t total_recorded_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+// The wiring bundle subsystems accept: both pointers optional, null = the
+// subsystem runs uninstrumented at zero cost. Passed by value (two
+// pointers).
+struct Hooks {
+  MetricsRegistry* metrics = nullptr;
+  EventJournal* journal = nullptr;
+};
+
+}  // namespace gw::obs

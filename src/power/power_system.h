@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "env/environment.h"
+#include "obs/journal.h"
 #include "power/battery.h"
 #include "power/chargers.h"
 #include "sim/simulation.h"
@@ -80,6 +81,28 @@ class PowerSystem {
   }
   void on_recovery(std::function<void()> fn) {
     recovery_handlers_.push_back(std::move(fn));
+  }
+
+  // Optional instrumentation (docs/OBSERVABILITY.md): brown-out/restore
+  // edges go to the journal as they happen; the energy ledgers are mirrored
+  // into gauges by publish_ledgers() (ledger writes stay plain doubles on
+  // the per-tick path).
+  void set_hooks(obs::Hooks hooks) { hooks_ = hooks; }
+
+  // Snapshots the ledgers and battery health into the registry under the
+  // "power" component: harvested_joules.<charger>, consumed_joules.<load>,
+  // battery_soc, brown_outs. Call at any natural boundary (the station does
+  // so at the end of each daily run).
+  void publish_ledgers() {
+    if (hooks_.metrics == nullptr) return;
+    auto& metrics = *hooks_.metrics;
+    for (const auto& [name, joules] : harvested_) {
+      metrics.gauge("power", "harvested_joules." + name).set(joules.value());
+    }
+    for (const auto& [name, joules] : consumed_) {
+      metrics.gauge("power", "consumed_joules." + name).set(joules.value());
+    }
+    metrics.gauge("power", "battery_soc").set(battery_.soc());
   }
 
   // --- observation ---------------------------------------------------------
@@ -165,9 +188,25 @@ class PowerSystem {
       browned_out_ = true;
       ++brown_out_count_;
       for (auto& load : loads_) load.on = false;  // hardware brown-out
+      if (hooks_.metrics != nullptr) {
+        hooks_.metrics->counter("power", "brown_outs").increment();
+      }
+      if (hooks_.journal != nullptr) {
+        hooks_.journal->record(now.millis_since_epoch(),
+                               obs::EventType::kBrownOut, "power",
+                               double(brown_out_count_));
+      }
       for (const auto& fn : brown_out_handlers_) fn();
     } else if (browned_out_ && battery_.soc() >= config_.recovery_soc) {
       browned_out_ = false;
+      if (hooks_.metrics != nullptr) {
+        hooks_.metrics->counter("power", "restores").increment();
+      }
+      if (hooks_.journal != nullptr) {
+        hooks_.journal->record(now.millis_since_epoch(),
+                               obs::EventType::kPowerRestored, "power",
+                               battery_.soc());
+      }
       for (const auto& fn : recovery_handlers_) fn();
     }
   }
@@ -195,6 +234,7 @@ class PowerSystem {
   std::map<std::string, util::Joules> consumed_;
   std::map<std::string, util::Joules> harvested_;
   util::Amps last_charge_current_{0.0};
+  obs::Hooks hooks_;
   bool browned_out_ = false;
   int brown_out_count_ = 0;
   std::vector<std::function<void()>> brown_out_handlers_;

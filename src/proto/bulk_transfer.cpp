@@ -34,6 +34,46 @@ class Session {
   sim::SimTime deadline_;
 };
 
+// Session-end bookkeeping shared by both protocols: totals into the
+// "bulk_transfer" component (docs/OBSERVABILITY.md core set).
+void publish_session(obs::Hooks hooks, const TransferStats& stats,
+                     sim::SimTime end) {
+  if (hooks.metrics != nullptr) {
+    auto& metrics = *hooks.metrics;
+    metrics.counter("bulk_transfer", "sessions").increment();
+    metrics.counter("bulk_transfer", "data_frames")
+        .increment(stats.data_packets);
+    metrics.counter("bulk_transfer", "control_frames")
+        .increment(stats.control_packets);
+    metrics.counter("bulk_transfer", "delivered_readings")
+        .increment(stats.delivered);
+    metrics.counter("bulk_transfer", "retransmit_rounds")
+        .increment(std::uint64_t(stats.retransmit_rounds));
+    metrics.counter("bulk_transfer", "rerequest_all_rounds")
+        .increment(std::uint64_t(stats.rerequest_all_rounds));
+    if (stats.aborted) {
+      metrics.counter("bulk_transfer", "aborted_sessions").increment();
+    }
+    if (stats.budget_exhausted) {
+      metrics.counter("bulk_transfer", "budget_exhausted_sessions")
+          .increment();
+    }
+    if (stats.delivered > 0) {
+      // The §V efficiency observable: cost on air per reading landed.
+      metrics
+          .histogram("bulk_transfer", "bytes_per_reading",
+                     {8, 12, 16, 24, 32, 48, 64, 96, 128, 256, 1024})
+          .observe(double(stats.bytes_on_air.count()) /
+                   double(stats.delivered));
+    }
+  }
+  if (hooks.journal != nullptr && stats.aborted) {
+    hooks.journal->record(end.millis_since_epoch(),
+                          obs::EventType::kSessionAborted, "bulk_transfer",
+                          double(stats.offered - stats.delivered));
+  }
+}
+
 }  // namespace
 
 TransferStats NackBulkTransfer::run(ProbeStore& store, sim::SimTime start,
@@ -58,6 +98,7 @@ TransferStats NackBulkTransfer::run(ProbeStore& store, sim::SimTime start,
         break;
       }
       ++stats.data_packets;
+      stats.bytes_on_air += kReadingWireSize;
       if (session.send(kReadingWireSize)) received.insert(seq);
     }
   };
@@ -77,6 +118,13 @@ TransferStats NackBulkTransfer::run(ProbeStore& store, sim::SimTime start,
     if (stats.budget_exhausted || stats.aborted) break;
     const std::vector<std::uint32_t> missing = missing_list();
     if (missing.empty()) break;
+    ++stats.retransmit_rounds;
+    if (hooks_.journal != nullptr) {
+      hooks_.journal->record(session.now().millis_since_epoch(),
+                             obs::EventType::kRetransmitRound,
+                             "bulk_transfer", double(round),
+                             double(missing.size()));
+    }
 
     // "unless there were so many that it would be as efficient to request
     // them all again" — the probe's bulk mode can only replay its *entire*
@@ -105,6 +153,7 @@ TransferStats NackBulkTransfer::run(ProbeStore& store, sim::SimTime start,
         break;
       }
       ++stats.control_packets;
+      stats.bytes_on_air += kRequestWireSize;
       if (!session.send(kRequestWireSize)) {
         // Request lost: the probe never answers; wait out the response
         // timer before moving on.
@@ -112,6 +161,7 @@ TransferStats NackBulkTransfer::run(ProbeStore& store, sim::SimTime start,
         continue;
       }
       ++stats.data_packets;
+      stats.bytes_on_air += kReadingWireSize;
       if (session.send(kReadingWireSize)) received.insert(seq);
     }
   }
@@ -119,7 +169,10 @@ TransferStats NackBulkTransfer::run(ProbeStore& store, sim::SimTime start,
   // Final confirmation: tell the probe what arrived so it can drop those
   // readings. Small frame; modelled as reliable (it is retried at the
   // command layer until it gets through).
-  if (!received.empty()) ++stats.control_packets;
+  if (!received.empty()) {
+    ++stats.control_packets;
+    stats.bytes_on_air += kAckWireSize;
+  }
 
   for (const auto& reading : store.pending()) {
     if (received.contains(reading.seq)) {
@@ -129,6 +182,7 @@ TransferStats NackBulkTransfer::run(ProbeStore& store, sim::SimTime start,
   stats.delivered = store.confirm_delivered(received);
   stats.still_missing = stats.offered - stats.delivered;
   stats.airtime = session.elapsed(start);
+  publish_session(hooks_, stats, session.now());
   return stats;
 }
 
@@ -156,12 +210,14 @@ TransferStats StopAndWaitTransfer::run(ProbeStore& store, sim::SimTime start,
         break;
       }
       ++stats.data_packets;
+      stats.bytes_on_air += kReadingWireSize;
       const bool data_arrived = session.send(kReadingWireSize);
       if (!data_arrived) {
         session.wait(config_.ack_timeout);  // sender times out, retransmits
         continue;
       }
       ++stats.control_packets;
+      stats.bytes_on_air += kAckWireSize;
       const bool ack_arrived = session.send(kAckWireSize);
       if (ack_arrived) {
         acked.insert(seq);
@@ -181,6 +237,7 @@ TransferStats StopAndWaitTransfer::run(ProbeStore& store, sim::SimTime start,
   stats.delivered = store.confirm_delivered(acked);
   stats.still_missing = stats.offered - stats.delivered;
   stats.airtime = session.elapsed(start);
+  publish_session(hooks_, stats, session.now());
   return stats;
 }
 

@@ -21,6 +21,7 @@
 #include <set>
 #include <vector>
 
+#include "obs/journal.h"
 #include "proto/probe_link.h"
 #include "proto/probe_store.h"
 #include "sim/time.h"
@@ -37,7 +38,9 @@ struct TransferStats {
   bool aborted = false;           // legacy firmware failure (§V)
   bool budget_exhausted = false;
   int rerequest_all_rounds = 0;   // times the whole set was re-streamed
+  int retransmit_rounds = 0;      // retry rounds entered after the stream
   std::size_t missing_after_stream = 0;  // the "~400 of 3000" number
+  util::Bytes bytes_on_air{0};    // every frame sent, both directions
   // The payloads that made it — the base station decodes, logs and packages
   // these (and the §VII data-priority analyser inspects them).
   std::vector<ProbeReading> delivered_readings;
@@ -57,8 +60,12 @@ struct NackConfig {
 
 class NackBulkTransfer {
  public:
-  explicit NackBulkTransfer(ProbeLink& link, NackConfig config = {})
-      : link_(link), config_(config) {}
+  // `hooks` (optional) records per-session counters and histograms under
+  // the "bulk_transfer" component plus per-round journal records — see
+  // docs/OBSERVABILITY.md.
+  explicit NackBulkTransfer(ProbeLink& link, NackConfig config = {},
+                            obs::Hooks hooks = {})
+      : link_(link), config_(config), hooks_(hooks) {}
 
   TransferStats run(ProbeStore& store, sim::SimTime start,
                     sim::Duration budget);
@@ -66,6 +73,7 @@ class NackBulkTransfer {
  private:
   ProbeLink& link_;
   NackConfig config_;
+  obs::Hooks hooks_;
 };
 
 struct StopAndWaitConfig {
@@ -75,8 +83,9 @@ struct StopAndWaitConfig {
 
 class StopAndWaitTransfer {
  public:
-  explicit StopAndWaitTransfer(ProbeLink& link, StopAndWaitConfig config = {})
-      : link_(link), config_(config) {}
+  explicit StopAndWaitTransfer(ProbeLink& link, StopAndWaitConfig config = {},
+                               obs::Hooks hooks = {})
+      : link_(link), config_(config), hooks_(hooks) {}
 
   TransferStats run(ProbeStore& store, sim::SimTime start,
                     sim::Duration budget);
@@ -84,6 +93,7 @@ class StopAndWaitTransfer {
  private:
   ProbeLink& link_;
   StopAndWaitConfig config_;
+  obs::Hooks hooks_;
 };
 
 }  // namespace gw::proto

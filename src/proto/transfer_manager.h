@@ -15,6 +15,7 @@
 #include <string>
 
 #include "hw/gprs_modem.h"
+#include "obs/journal.h"
 #include "sim/time.h"
 #include "util/units.h"
 
@@ -74,6 +75,11 @@ class TransferManager {
     on_complete_ = std::move(fn);
   }
 
+  // Optional instrumentation under "transfer_manager": per-window counters
+  // plus a journal record whenever a window closes with work left queued
+  // (§VI's multi-day backlog drain made visible).
+  void set_hooks(obs::Hooks hooks) { hooks_ = hooks; }
+
   [[nodiscard]] std::size_t queued_files() const { return queue_.size(); }
   [[nodiscard]] util::Bytes queued_bytes() const {
     util::Bytes total{0};
@@ -84,8 +90,10 @@ class TransferManager {
 
   // Uploads as much of the queue as fits in `budget`, oldest file first.
   // The modem must already be powered; the caller owns advancing simulated
-  // time by report.elapsed (it is part of the daily run's sequence).
-  UploadReport run_window(hw::GprsModem& modem, sim::Duration budget) {
+  // time by report.elapsed (it is part of the daily run's sequence). `now`
+  // only timestamps journal records (instrumented callers pass it).
+  UploadReport run_window(hw::GprsModem& modem, sim::Duration budget,
+                          sim::SimTime now = sim::kEpoch) {
     UploadReport report;
     int retries_left = config_.max_session_retries;
 
@@ -150,6 +158,7 @@ class TransferManager {
       ++report.failed_sessions;
       if (--retries_left < 0) break;
     }
+    publish_window(report, now);
     return report;
   }
 
@@ -162,9 +171,36 @@ class TransferManager {
     ++report.files_completed;
   }
 
+  void publish_window(const UploadReport& report, sim::SimTime now) {
+    if (hooks_.metrics != nullptr) {
+      auto& metrics = *hooks_.metrics;
+      metrics.counter("transfer_manager", "windows").increment();
+      metrics.counter("transfer_manager", "files_completed")
+          .increment(std::uint64_t(report.files_completed));
+      metrics.counter("transfer_manager", "bytes_sent")
+          .increment(std::uint64_t(report.bytes_sent.count()));
+      metrics.counter("transfer_manager", "failed_sessions")
+          .increment(std::uint64_t(report.failed_sessions));
+      if (report.window_exhausted) {
+        metrics.counter("transfer_manager", "windows_exhausted").increment();
+      }
+      metrics.gauge("transfer_manager", "backlog_files")
+          .set(double(queue_.size()));
+      metrics.gauge("transfer_manager", "backlog_bytes")
+          .set(double(queued_bytes().count()));
+    }
+    if (hooks_.journal != nullptr && report.window_exhausted) {
+      hooks_.journal->record(now.millis_since_epoch(),
+                             obs::EventType::kWindowExhausted,
+                             "transfer_manager", double(queue_.size()),
+                             double(queued_bytes().count()));
+    }
+  }
+
   TransferManagerConfig config_;
   std::deque<UploadFile> queue_;
   std::function<void(const std::string&, util::Bytes)> on_complete_;
+  obs::Hooks hooks_;
 };
 
 }  // namespace gw::proto

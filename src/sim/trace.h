@@ -26,6 +26,10 @@ class Trace {
     series_[series].push_back(TracePoint{t, value});
   }
 
+  // Declares a series without adding a point, so exports (and the analysis
+  // helpers' empty-series contract) can see it before the first sample.
+  void declare(const std::string& series) { series_[series]; }
+
   void annotate(SimTime t, std::string text) {
     annotations_.push_back({t, std::move(text)});
   }
@@ -59,29 +63,35 @@ class Trace {
   }
 
   // --- small analysis helpers used by tests and benches -----------------
+  //
+  // Contract: all helpers throw std::out_of_range for a missing series
+  // (via series()) and for an empty one — never UB (`points.at(0)` on
+  // min/max) or a silent NaN (`sum/0` on mean) depending on which helper
+  // happened to be called.
 
   [[nodiscard]] double min_value(const std::string& name) const {
-    const auto& points = series(name);
-    double m = points.at(0).value;
+    const auto& points = non_empty_series(name);
+    double m = points.front().value;
     for (const auto& point : points) m = std::min(m, point.value);
     return m;
   }
 
   [[nodiscard]] double max_value(const std::string& name) const {
-    const auto& points = series(name);
-    double m = points.at(0).value;
+    const auto& points = non_empty_series(name);
+    double m = points.front().value;
     for (const auto& point : points) m = std::max(m, point.value);
     return m;
   }
 
   [[nodiscard]] double mean_value(const std::string& name) const {
-    const auto& points = series(name);
+    const auto& points = non_empty_series(name);
     double sum = 0.0;
     for (const auto& point : points) sum += point.value;
     return sum / double(points.size());
   }
 
-  // Value of the last point at or before t (throws if none).
+  // Value of the last point at or before t (throws if none, including the
+  // boundary case t strictly before the first sample).
   [[nodiscard]] double value_at(const std::string& name, SimTime t) const {
     const auto& points = series(name);
     const TracePoint* best = nullptr;
@@ -93,6 +103,15 @@ class Trace {
   }
 
  private:
+  [[nodiscard]] const std::vector<TracePoint>& non_empty_series(
+      const std::string& name) const {
+    const auto& points = series(name);
+    if (points.empty()) {
+      throw std::out_of_range("Trace: empty series " + name);
+    }
+    return points;
+  }
+
   std::map<std::string, std::vector<TracePoint>> series_;
   std::vector<Annotation> annotations_;
 };

@@ -18,6 +18,18 @@ constexpr util::Bytes kSpecialQuery{768};
 constexpr std::int64_t kSampleRecordBytes = 16;
 constexpr std::int64_t kSensorRecordBytes = 24;
 
+// Clock for the daily-run ScopedTimer: simulated seconds since the epoch.
+double sim_clock_seconds(void* ctx) {
+  return double(
+             static_cast<sim::Simulation*>(ctx)->now().millis_since_epoch()) /
+         1e3;
+}
+
+// Buckets for recovery.time_to_recover_hours: an hour to a month.
+std::vector<double> recovery_hour_buckets() {
+  return {1, 2, 4, 8, 12, 24, 48, 96, 168, 336, 720};
+}
+
 }  // namespace
 
 Station::Station(sim::Simulation& simulation, env::Environment& environment,
@@ -54,6 +66,13 @@ Station::Station(sim::Simulation& simulation, env::Environment& environment,
       [this](const std::string& name, util::Bytes size) {
         server_.receive_file(config_.name, name, size, simulation_.now());
       });
+  // Unified observability: every subsystem reports into this station's
+  // registry and journal (docs/OBSERVABILITY.md instrumentation contract).
+  const obs::Hooks hooks{&metrics_, &journal_};
+  power_.set_hooks(hooks);
+  watchdog_.set_hooks(hooks);
+  recovery_.set_hooks(hooks);
+  uploads_.set_hooks(hooks);
 }
 
 void Station::add_probe(ProbeNode& probe) { probes_.push_back(&probe); }
@@ -74,6 +93,11 @@ void Station::start() {
 
 void Station::set_state(core::PowerState state) {
   if (state == state_) return;
+  metrics_.counter("power_policy", "transitions").increment();
+  journal_.record(simulation_.now().millis_since_epoch(),
+                  obs::EventType::kStateTransition, "power_policy",
+                  double(core::to_int(state_)),
+                  double(core::to_int(state)));
   state_ = state;
   state_history_.push_back({simulation_.now(), state_});
   logger_.info(simulation_.now().millis_since_epoch(), "power",
@@ -102,6 +126,9 @@ void Station::on_wake() {
                       ? 0
                       : std::size_t(day_counter_) % probes_.size();
   probe_budget_used_ = sim::Duration{0};
+  metrics_.counter("station", "wakes").increment();
+  run_timer_.emplace(metrics_.histogram("station", "run_seconds"),
+                     &sim_clock_seconds, &simulation_);
   watchdog_.arm([this] {
     logger_.error(simulation_.now().millis_since_epoch(), "watchdog",
                   "2h limit hit during step " + sequence_->current_step());
@@ -178,11 +205,20 @@ void Station::build_sequence() {
 
 void Station::finish_run(bool aborted) {
   watchdog_.disarm();
-  if (sequence_) last_run_steps_ = sequence_->completed_steps();
+  run_timer_.reset();  // observes into station.run_seconds
+  if (sequence_) {
+    last_run_steps_ = sequence_->completed_steps();
+    for (const auto& step : sequence_->step_durations()) {
+      metrics_.histogram("station", "step_seconds." + step.name)
+          .observe(step.elapsed.to_seconds());
+    }
+  }
   if (aborted) {
     ++stats_.runs_aborted;
+    metrics_.counter("station", "runs_aborted").increment();
   } else {
     ++stats_.runs_completed;
+    metrics_.counter("station", "runs_completed").increment();
     recovery_.record_successful_run();
     if (local_voltage_state_ == core::PowerState::kState0) {
       ++stats_.state0_days;
@@ -190,7 +226,27 @@ void Station::finish_run(bool aborted) {
   }
   // New effective state: voltage-derived, clamped by the server override
   // fetched this run (§III rules).
-  set_state(core::SyncRules::apply(local_voltage_state_, last_override_));
+  const core::PowerState applied =
+      core::SyncRules::apply(local_voltage_state_, last_override_);
+  if (applied < local_voltage_state_) {
+    // The server's min-rule pulled us below what the battery allows (§III).
+    metrics_.counter("state_sync", "clamps").increment();
+    journal_.record(simulation_.now().millis_since_epoch(),
+                    obs::EventType::kSyncClamp, "state_sync",
+                    double(core::to_int(local_voltage_state_)),
+                    double(core::to_int(applied)));
+  }
+  if (last_override_.has_value()) {
+    metrics_.counter("state_sync", "overrides_received").increment();
+  }
+  set_state(applied);
+  // State occupancy: one count per daily run, keyed by the state the
+  // station ends the day in (the Table 2 duty-cycle observable).
+  metrics_
+      .counter("power_policy",
+               "occupancy_days.state" + std::to_string(core::to_int(state_)))
+      .increment();
+  power_.publish_ledgers();
   if (!power_.browned_out()) {
     schedule_gps_program();
   }
@@ -229,7 +285,8 @@ std::optional<sim::Duration> Station::probe_chunk() {
     }
 
     proto::NackBulkTransfer protocol{probe->link(),
-                                     effective_probe_protocol()};
+                                     effective_probe_protocol(),
+                                     obs::Hooks{&metrics_, &journal_}};
     const auto stats =
         protocol.run(probe->store(), simulation_.now(), budget_left);
     probe_budget_used_ += stats.airtime;
@@ -339,6 +396,7 @@ void Station::compute_local_state() {
   }
   daily_averages_.push_back({simulation_.now(), *average});
   local_voltage_state_ = policy_.state_for(*average);
+  metrics_.gauge("power_policy", "daily_average_volts").set(average->value());
   logger_.info(simulation_.now().millis_since_epoch(), "power",
                "daily avg " + util::format_fixed(average->value(), 2) +
                    " V -> local state " +
@@ -394,7 +452,7 @@ sim::Duration Station::upload_data() {
   const sim::Duration reserve = sim::minutes(5);
   const sim::Duration budget = watchdog_.remaining() - reserve;
   if (budget <= sim::Duration{0}) return sim::Duration{0};
-  const auto report = uploads_.run_window(gprs_, budget);
+  const auto report = uploads_.run_window(gprs_, budget, simulation_.now());
   return report.elapsed;
 }
 
@@ -562,6 +620,7 @@ void Station::cancel_gps_program() {
 
 void Station::on_brown_out() {
   ++stats_.brown_outs;
+  brown_out_at_ = simulation_.now();
   logger_.error(simulation_.now().millis_since_epoch(), "power",
                 "battery exhausted: brown-out");
   if (sequence_ && sequence_->running()) sequence_->abort();
@@ -575,6 +634,10 @@ void Station::on_brown_out() {
 
 void Station::on_cold_boot() {
   ++stats_.cold_boots;
+  metrics_.counter("station", "cold_boots").increment();
+  journal_.record(simulation_.now().millis_since_epoch(),
+                  obs::EventType::kColdBoot, "station",
+                  double(stats_.cold_boots));
   // First boot after an uncontrolled power loss: scan the card. The field
   // scan only *detects* (§VII: recovery was done off-site); a corrupted
   // card is still usable for new files once fsck clears the metadata.
@@ -591,6 +654,14 @@ void Station::on_cold_boot() {
     case core::RecoveryOutcome::kClockTrusted:
     case core::RecoveryOutcome::kResyncedByGps:
     case core::RecoveryOutcome::kResyncedByNtp:
+      // Brown-out edge to working clock: the §IV outage the paper survives.
+      if (brown_out_at_.has_value()) {
+        metrics_
+            .histogram("recovery", "time_to_recover_hours",
+                       recovery_hour_buckets())
+            .observe((simulation_.now() - *brown_out_at_).to_hours());
+        brown_out_at_.reset();
+      }
       // §IV: clock restored -> rewrite the RAM schedule and restart in
       // state 0.
       local_voltage_state_ = core::PowerState::kState0;

@@ -49,6 +49,8 @@
 #include "hw/gumsense_bus.h"
 #include "hw/sensors.h"
 #include "hw/serial_link.h"
+#include "obs/journal.h"
+#include "obs/metrics.h"
 #include "power/chargers.h"
 #include "power/power_system.h"
 #include "proto/bulk_transfer.h"
@@ -165,6 +167,16 @@ class Station {
   [[nodiscard]] const std::string& name() const { return config_.name; }
   [[nodiscard]] const StationConfig& config() const { return config_; }
 
+  // The unified observability pair (docs/OBSERVABILITY.md): every subsystem
+  // of this station reports into one registry/journal, exported per-station
+  // by the benches.
+  [[nodiscard]] obs::MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] const obs::MetricsRegistry& metrics() const {
+    return metrics_;
+  }
+  [[nodiscard]] obs::EventJournal& journal() { return journal_; }
+  [[nodiscard]] const obs::EventJournal& journal() const { return journal_; }
+
   // (time, state) transitions, newest last — the Fig 5 state series.
   struct StateChange {
     sim::SimTime at;
@@ -230,6 +242,11 @@ class Station {
   StationConfig config_;
   util::Rng rng_;
 
+  // Declared before the subsystems so the instrumentation sinks outlive
+  // every hooked component.
+  obs::MetricsRegistry metrics_;
+  obs::EventJournal journal_;
+
   power::PowerSystem power_;
   hw::Gumsense board_;
   hw::DgpsReceiver dgps_;
@@ -266,6 +283,11 @@ class Station {
   std::vector<StateChange> state_history_;
   std::vector<DailyAverage> daily_averages_;
   std::vector<std::string> last_run_steps_;
+  // Daily-run latency probe (simulated clock): armed at wake, observed into
+  // station.run_seconds when the run finishes.
+  std::optional<obs::ScopedTimer> run_timer_;
+  // Brown-out edge time, for the recovery.time_to_recover_hours histogram.
+  std::optional<sim::SimTime> brown_out_at_;
   StationStats stats_;
   int day_counter_ = 0;
   bool started_ = false;

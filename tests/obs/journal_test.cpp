@@ -1,0 +1,70 @@
+#include "obs/journal.h"
+
+#include <gtest/gtest.h>
+
+namespace gw::obs {
+namespace {
+
+TEST(EventJournal, RecordsTypedEventsInOrder) {
+  EventJournal journal;
+  journal.record(1000, EventType::kStateTransition, "station", 2, 3);
+  journal.record(2000, EventType::kBrownOut, "power", 1);
+  ASSERT_EQ(journal.size(), 2u);
+  const Event& first = journal.events().front();
+  EXPECT_EQ(first.time_ms, 1000);
+  EXPECT_EQ(first.type, EventType::kStateTransition);
+  EXPECT_EQ(first.component, "station");
+  EXPECT_DOUBLE_EQ(first.a, 2.0);
+  EXPECT_DOUBLE_EQ(first.b, 3.0);
+  EXPECT_EQ(journal.events().back().type, EventType::kBrownOut);
+}
+
+TEST(EventJournal, CountAndOfTypeFilter) {
+  EventJournal journal;
+  journal.record(1, EventType::kRetransmitRound, "bulk_transfer", 1, 400);
+  journal.record(2, EventType::kRetransmitRound, "bulk_transfer", 2, 60);
+  journal.record(3, EventType::kSessionAborted, "bulk_transfer", 60);
+  EXPECT_EQ(journal.count(EventType::kRetransmitRound), 2u);
+  EXPECT_EQ(journal.count(EventType::kColdBoot), 0u);
+  const auto rounds = journal.of_type(EventType::kRetransmitRound);
+  ASSERT_EQ(rounds.size(), 2u);
+  EXPECT_DOUBLE_EQ(rounds[1].b, 60.0);
+}
+
+TEST(EventJournal, CapacityDropsOldestAndCounts) {
+  EventJournal journal{3};
+  for (int i = 0; i < 5; ++i) {
+    journal.record(i, EventType::kColdBoot, "station", i);
+  }
+  EXPECT_EQ(journal.size(), 3u);
+  EXPECT_EQ(journal.total_recorded(), 5u);
+  EXPECT_EQ(journal.dropped(), 2u);
+  // Oldest went first: the survivors are records 2, 3, 4.
+  EXPECT_EQ(journal.events().front().time_ms, 2);
+  EXPECT_EQ(journal.events().back().time_ms, 4);
+}
+
+TEST(EventJournal, EveryTypeHasAStableName) {
+  // The to_string names are part of the glacsweb.bench.v1 schema
+  // (docs/OBSERVABILITY.md); renaming one is a breaking change.
+  EXPECT_STREQ(to_string(EventType::kStateTransition), "state_transition");
+  EXPECT_STREQ(to_string(EventType::kSyncClamp), "sync_clamp");
+  EXPECT_STREQ(to_string(EventType::kRecoveryResync), "recovery_resync");
+  EXPECT_STREQ(to_string(EventType::kRecoveryDeferred), "recovery_deferred");
+  EXPECT_STREQ(to_string(EventType::kWatchdogExpiry), "watchdog_expiry");
+  EXPECT_STREQ(to_string(EventType::kRetransmitRound), "retransmit_round");
+  EXPECT_STREQ(to_string(EventType::kSessionAborted), "session_aborted");
+  EXPECT_STREQ(to_string(EventType::kBrownOut), "brown_out");
+  EXPECT_STREQ(to_string(EventType::kPowerRestored), "power_restored");
+  EXPECT_STREQ(to_string(EventType::kColdBoot), "cold_boot");
+  EXPECT_STREQ(to_string(EventType::kWindowExhausted), "window_exhausted");
+}
+
+TEST(Hooks, DefaultIsUninstrumented) {
+  Hooks hooks;
+  EXPECT_EQ(hooks.metrics, nullptr);
+  EXPECT_EQ(hooks.journal, nullptr);
+}
+
+}  // namespace
+}  // namespace gw::obs

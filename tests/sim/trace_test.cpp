@@ -45,6 +45,33 @@ TEST(Trace, ValueBeforeFirstPointThrows) {
   EXPECT_THROW(trace.value_at("state", SimTime{99}), std::out_of_range);
 }
 
+TEST(Trace, ValueAtExactlyFirstPoint) {
+  // The boundary case: t equal to the first sample is in range, one
+  // millisecond earlier is not.
+  Trace trace;
+  trace.add("state", SimTime{100}, 1.0);
+  EXPECT_DOUBLE_EQ(trace.value_at("state", SimTime{100}), 1.0);
+}
+
+TEST(Trace, DeclaredSeriesIsVisibleButEmpty) {
+  Trace trace;
+  trace.declare("voltage");
+  ASSERT_TRUE(trace.has_series("voltage"));
+  EXPECT_TRUE(trace.series("voltage").empty());
+  EXPECT_EQ(trace.series_names(), std::vector<std::string>{"voltage"});
+}
+
+TEST(Trace, EmptySeriesThrowsConsistently) {
+  // Contract: every analysis helper throws std::out_of_range on an empty
+  // series — not UB on front() or a silent NaN from 0/0.
+  Trace trace;
+  trace.declare("empty");
+  EXPECT_THROW(trace.min_value("empty"), std::out_of_range);
+  EXPECT_THROW(trace.max_value("empty"), std::out_of_range);
+  EXPECT_THROW(trace.mean_value("empty"), std::out_of_range);
+  EXPECT_THROW(trace.value_at("empty", SimTime{0}), std::out_of_range);
+}
+
 TEST(Trace, Annotations) {
   Trace trace;
   trace.annotate(SimTime{42}, "override released");
