@@ -77,11 +77,18 @@ void fix_probability_sweep() {
         hw::DgpsReceiver dgps{simulation, power,
                               util::Rng{std::uint64_t(trial) * 13 + 3},
                               dgps_config};
+        hw::GprsConfig gprs_config;
+        gprs_config.registration_success = 1.0;
+        gprs_config.drop_per_minute = 0.0;
+        hw::GprsModem gprs{simulation, power,
+                           util::Rng{std::uint64_t(trial) * 19 + 7},
+                           gprs_config};
         core::RecoveryConfig recovery_config;
         recovery_config.ntp_fallback = variant == 1;
         core::RecoveryManager recovery{
             simulation, msp, dgps,
             util::Rng{std::uint64_t(trial) * 17 + 5}, recovery_config};
+        recovery.attach_modem(&gprs);  // NTP rides a real session now
         recovery.record_successful_run();
         msp.brown_out();
         int days = 0;

@@ -6,7 +6,11 @@
 #      build container does not ship it);
 #   2. documentation link/anchor check over docs/*.md and README.md:
 #      every relative file link must resolve, every intra-doc #anchor must
-#      match a heading in the target file (needs python3, also gated).
+#      match a heading in the target file (needs python3, also gated);
+#   3. sanitizer leg: with GW_CHECK_SANITIZE=1 in the environment, builds
+#      system_test in a separate build-asan/ dir with -DGW_SANITIZE=ON
+#      (ASan+UBSan) and runs the fault soak under it. Off by default —
+#      it is a full extra build — and gated on cmake being available.
 #
 # Exits non-zero on any real failure; missing tools skip their check.
 set -u
@@ -85,6 +89,25 @@ PYEOF
   fi
 else
   echo "skip: python3 not installed"
+fi
+
+# --- 3. sanitizer soak (opt-in: GW_CHECK_SANITIZE=1) ----------------------
+if [ "${GW_CHECK_SANITIZE:-0}" = "1" ]; then
+  if command -v cmake >/dev/null 2>&1; then
+    echo "== ASan+UBSan fault soak (build-asan/)"
+    if cmake -B build-asan -S . -DGW_SANITIZE=ON >/dev/null &&
+       cmake --build build-asan --target system_test -j >/dev/null &&
+       ./build-asan/tests/system_test --gtest_filter='FaultSoak.*'; then
+      echo "ok: fault soak clean under ASan+UBSan"
+    else
+      echo "FAIL: sanitizer fault soak"
+      failures=$((failures + 1))
+    fi
+  else
+    echo "skip: cmake not installed"
+  fi
+else
+  echo "skip: sanitizer soak (set GW_CHECK_SANITIZE=1 to enable)"
 fi
 
 if [ "$failures" -ne 0 ]; then

@@ -14,7 +14,9 @@
 #include <functional>
 #include <optional>
 
+#include "fault/fault.h"
 #include "hw/dgps.h"
+#include "hw/gprs_modem.h"
 #include "hw/msp430.h"
 #include "obs/journal.h"
 #include "sim/simulation.h"
@@ -24,9 +26,12 @@ namespace gw::core {
 
 struct RecoveryConfig {
   bool ntp_fallback = false;          // §IV future work, implemented
-  double ntp_success = 0.85;          // GPRS registration + NTP reachability
-  sim::Duration ntp_time = sim::seconds(70);
+  double ntp_success = 0.85;          // NTP reachability once a session is up
+  util::Bytes ntp_payload = util::Bytes{128};   // a few SNTP datagrams
   sim::Duration retry_interval = sim::days(1);  // "sleep for a day"
+  // rtc_drift fault windows degrade NTP discipline: the clock lands up to
+  // this far off true time, scaled by the window severity.
+  sim::Duration drift_skew = sim::minutes(10);
 };
 
 enum class RecoveryOutcome {
@@ -68,6 +73,15 @@ class RecoveryManager {
   // "recovery", plus journal records for each trigger outcome.
   void set_hooks(obs::Hooks hooks) { hooks_ = hooks; }
 
+  // The NTP fallback needs a real GPRS session (registration time, session
+  // energy, per-MiB cost); without a modem attached the fallback is treated
+  // as unavailable and the attempt defers. Null detaches.
+  void attach_modem(hw::GprsModem* gprs) { gprs_ = gprs; }
+
+  // Attaches scripted fault windows (rtc_drift degrades NTP discipline);
+  // null detaches.
+  void set_fault_oracle(fault::FaultOracle* oracle) { oracle_ = oracle; }
+
   // One recovery attempt (the cold-boot path). Consumes device time
   // directly via the dGPS fix-acquisition model; the caller runs it inside
   // a daily-run step. On kDeferred the caller sleeps retry_interval.
@@ -91,13 +105,41 @@ class RecoveryManager {
     }
 
     // Extension: NTP over GPRS (§IV "in the future this could also be
-    // extended to fall back to getting the time using the GPRS link").
-    if (config_.ntp_fallback && rng_.bernoulli(config_.ntp_success)) {
-      // NTP disciplines to within protocol error; exact for our purposes.
-      msp_.set_rtc(simulation_.now() + config_.ntp_time);
-      ++ntp_resyncs_;
-      record_outcome(RecoveryOutcome::kResyncedByNtp);
-      return RecoveryOutcome::kResyncedByNtp;
+    // extended to fall back to getting the time using the GPRS link"). The
+    // resync is *not* free: it rides a real modem session — registration
+    // time, transfer time for a few SNTP datagrams, per-MiB data cost, and
+    // session energy all land in the same ledgers a daily upload would hit.
+    if (config_.ntp_fallback && gprs_ != nullptr) {
+      const bool was_powered = gprs_->powered();
+      if (!was_powered) gprs_->power_on();
+      const hw::TransferOutcome session =
+          gprs_->attempt_transfer(config_.ntp_payload);
+      if (!was_powered) {
+        // Keep the modem drawing power for exactly as long as the session
+        // ran, then let it cut itself off — attempt() returns immediately
+        // in sim time, so the energy is integrated by the scheduled hold.
+        gprs_->hold_powered(session.elapsed);
+      }
+      if (session.success && rng_.bernoulli(config_.ntp_success)) {
+        // NTP disciplines to within protocol error — unless an rtc_drift
+        // window is active, in which case the clock lands severity-scaled
+        // skew off true time (degraded discipline, §IV).
+        sim::Duration skew{0};
+        if (oracle_ != nullptr) {
+          const double severity = oracle_->severity(
+              fault::FaultKind::kRtcDrift, simulation_.now());
+          if (severity > 0.0) {
+            skew = sim::Duration{
+                std::int64_t(double(config_.drift_skew.millis()) * severity)};
+            oracle_->record_trip(fault::FaultKind::kRtcDrift,
+                                 simulation_.now());
+          }
+        }
+        msp_.set_rtc(simulation_.now() + session.elapsed + skew);
+        ++ntp_resyncs_;
+        record_outcome(RecoveryOutcome::kResyncedByNtp);
+        return RecoveryOutcome::kResyncedByNtp;
+      }
     }
 
     ++deferrals_;
@@ -147,6 +189,8 @@ class RecoveryManager {
   RecoveryConfig config_;
   util::Rng rng_;
   obs::Hooks hooks_;
+  hw::GprsModem* gprs_ = nullptr;
+  fault::FaultOracle* oracle_ = nullptr;
   std::optional<sim::SimTime> last_successful_run_;
   int attempts_ = 0;
   int gps_resyncs_ = 0;

@@ -24,6 +24,7 @@
 #include <string>
 
 #include "core/power_policy.h"
+#include "sim/time.h"
 
 namespace gw::core {
 
@@ -42,10 +43,26 @@ struct SyncRules {
 };
 
 // Southampton's ledger: latest reported state per station + manual override.
+//
+// Reports carry a timestamp and expire after max_report_age: a station that
+// has gone silent (flat battery, weeks-long GPRS outage) must not pin the
+// whole deployment to its last — typically lowest — reported state forever.
+// Once its report ages out, the min-rule is computed over the stations
+// still talking. The manual override never expires.
 class SyncServer {
  public:
-  void report_state(const std::string& station, PowerState state) {
-    latest_[station] = state;
+  // Reports older than this are ignored by override_for_client(). Generous
+  // by default: a silent week is an outage, not a state opinion.
+  void set_max_report_age(sim::Duration age) { max_report_age_ = age; }
+  [[nodiscard]] sim::Duration max_report_age() const {
+    return max_report_age_;
+  }
+
+  // `at` defaults to the epoch so timestamp-free callers (unit tests,
+  // benches predating expiry) keep the old always-fresh behaviour.
+  void report_state(const std::string& station, PowerState state,
+                    sim::SimTime at = sim::kEpoch) {
+    latest_[station] = Entry{state, at};
   }
 
   // Operator intervention ("easy manual overriding of the power states if
@@ -55,12 +72,14 @@ class SyncServer {
   }
 
   // The override returned to any asking station: the minimum over every
-  // reported state and the manual override. Before any reports exist there
-  // is nothing to say.
-  [[nodiscard]] std::optional<PowerState> override_for_client() const {
+  // *fresh* reported state and the manual override. Before any reports
+  // exist there is nothing to say.
+  [[nodiscard]] std::optional<PowerState> override_for_client(
+      sim::SimTime now = sim::kEpoch) const {
     std::optional<PowerState> lowest = manual_override_;
-    for (const auto& [station, state] : latest_) {
-      if (!lowest.has_value() || state < *lowest) lowest = state;
+    for (const auto& [station, entry] : latest_) {
+      if (now - entry.reported_at > max_report_age_) continue;  // stale
+      if (!lowest.has_value() || entry.state < *lowest) lowest = entry.state;
     }
     return lowest;
   }
@@ -69,12 +88,25 @@ class SyncServer {
       const std::string& station) const {
     const auto it = latest_.find(station);
     if (it == latest_.end()) return std::nullopt;
-    return it->second;
+    return it->second.state;
+  }
+
+  [[nodiscard]] std::optional<sim::SimTime> reported_at(
+      const std::string& station) const {
+    const auto it = latest_.find(station);
+    if (it == latest_.end()) return std::nullopt;
+    return it->second.reported_at;
   }
 
  private:
-  std::map<std::string, PowerState> latest_;
+  struct Entry {
+    PowerState state = PowerState::kState0;
+    sim::SimTime reported_at{};
+  };
+
+  std::map<std::string, Entry> latest_;
   std::optional<PowerState> manual_override_;
+  sim::Duration max_report_age_ = sim::days(5);
 };
 
 }  // namespace gw::core

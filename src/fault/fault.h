@@ -1,0 +1,164 @@
+// Deterministic, schedule-driven fault injection.
+//
+// The paper's central claim is that the daily-retry design absorbs everyday
+// failures — GPRS sessions dropping "frequently, especially in the wetter
+// summer" (§I), SCP hangs ended only by the 2-hour watchdog (§VI), total
+// battery exhaustion recovered by the RTC sanity check (§IV). Before this
+// layer existed those failures could only be provoked through per-device
+// Bernoulli knobs, so no test could script a *specific* adversarial season.
+//
+// A FaultPlan is a list of typed windows (kind, start offset, duration,
+// severity) parsed from a small text spec; a FaultOracle anchors the plan at
+// a season origin and answers point queries. Devices keep their base
+// stochastic hazards and compose them with the oracle — "base hazard ∘
+// active fault windows" — through hazard() (probability union, for failure
+// draws) or success() (severity-scaled, for success draws). A null oracle
+// pointer means no injection: the device behaves exactly as before.
+//
+// The oracle never draws randomness itself; devices draw from their own
+// forked streams, so attaching a plan perturbs nothing outside the windows
+// and two same-seed runs under the same plan are byte-reproducible.
+#pragma once
+
+#include <array>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/journal.h"
+#include "sim/time.h"
+#include "util/result.h"
+
+namespace gw::fault {
+
+// The failure modes a plan can script, one per §I–§VII mechanism the repo
+// models. Values are stable: journal records carry them as payload slot a.
+enum class FaultKind : int {
+  kGprsOutage = 0,       // GPRS registration/session failures (§I wet summer)
+  kServerDown = 1,       // Southampton unreachable (§III single rendezvous)
+  kRtcDrift = 2,         // degraded clock discipline on resync (§IV)
+  kCfWriteFail = 3,      // CF card write faults (§VII corruption)
+  kDgpsNoFix = 4,        // receiver cannot acquire a time fix (§IV)
+  kHarvestBlackout = 5,  // chargers deliver nothing (buried panel, dead wind)
+};
+
+inline constexpr int kFaultKindCount = 6;
+
+[[nodiscard]] const char* to_string(FaultKind kind);
+[[nodiscard]] util::Result<FaultKind> parse_fault_kind(std::string_view name);
+
+// One scripted window. `start` is an offset from the plan origin (the season
+// start the oracle is anchored at), so the same plan text replays against
+// any deployment calendar.
+struct FaultWindow {
+  FaultKind kind = FaultKind::kGprsOutage;
+  sim::Duration start{};
+  sim::Duration duration{};
+  double severity = 1.0;  // [0, 1]; 1.0 = hard outage for the whole window
+};
+
+// A season's worth of scripted windows, in spec order. Parsed from a small
+// line-based text format (see docs/FAULTS.md):
+//
+//   # wet-summer season
+//   gprs_outage  start=10d  duration=7d   severity=1.0
+//   server_down  start=40d  duration=36h
+//   dgps_no_fix  start=60d  duration=12h  severity=0.5
+//
+// Durations take a number plus one unit suffix (d, h, m, s). severity
+// defaults to 1.0. '#' starts a comment; blank lines are skipped. Parse
+// errors carry the offending line number.
+class FaultPlan {
+ public:
+  [[nodiscard]] static util::Result<FaultPlan> parse(std::string_view spec);
+
+  void add(FaultWindow window) { windows_.push_back(window); }
+
+  [[nodiscard]] const std::vector<FaultWindow>& windows() const {
+    return windows_;
+  }
+  [[nodiscard]] bool empty() const { return windows_.empty(); }
+
+ private:
+  std::vector<FaultWindow> windows_;
+};
+
+// The injectable query point. Devices hold a FaultOracle* (null = run
+// clean) and ask for the active severity of the kinds they model, then
+// compose it with their own base hazard and draw from their own Rng.
+class FaultOracle {
+ public:
+  FaultOracle() = default;
+  FaultOracle(FaultPlan plan, sim::SimTime origin)
+      : plan_(std::move(plan)), origin_(origin) {}
+
+  // Optional instrumentation under "fault": trip counters per kind, plus a
+  // journal record for every fault a device actually fired.
+  void set_hooks(obs::Hooks hooks) { hooks_ = hooks; }
+
+  // Highest severity over the windows of `kind` covering `now`; 0 outside
+  // every window. Windows are closed-open: [start, start + duration).
+  [[nodiscard]] double severity(FaultKind kind, sim::SimTime now) const {
+    double highest = 0.0;
+    for (const auto& window : plan_.windows()) {
+      if (window.kind != kind) continue;
+      const sim::SimTime open = origin_ + window.start;
+      if (now >= open && now < open + window.duration) {
+        highest = window.severity > highest ? window.severity : highest;
+      }
+    }
+    return highest;
+  }
+
+  [[nodiscard]] bool active(FaultKind kind, sim::SimTime now) const {
+    return severity(kind, now) > 0.0;
+  }
+
+  // base hazard ∘ active windows, failure-probability form: the union
+  // 1 - (1-base)(1-severity). severity 1 forces the failure; severity 0
+  // leaves the base hazard untouched.
+  [[nodiscard]] double hazard(FaultKind kind, sim::SimTime now,
+                              double base) const {
+    const double s = severity(kind, now);
+    return 1.0 - (1.0 - base) * (1.0 - s);
+  }
+
+  // base hazard ∘ active windows, success-probability form: the base
+  // success chance scaled down by the active severity.
+  [[nodiscard]] double success(FaultKind kind, sim::SimTime now,
+                               double base) const {
+    return base * (1.0 - severity(kind, now));
+  }
+
+  // Called by a device when a failure actually fired while a window of
+  // `kind` was active — the observable that ties an injected season to its
+  // effects.
+  void record_trip(FaultKind kind, sim::SimTime now) {
+    ++trips_[std::size_t(kind)];
+    if (hooks_.metrics != nullptr) {
+      hooks_.metrics
+          ->counter("fault", std::string("trips.") + to_string(kind))
+          .increment();
+    }
+    if (hooks_.journal != nullptr) {
+      hooks_.journal->record(now.millis_since_epoch(),
+                             obs::EventType::kFaultTrip, "fault",
+                             double(int(kind)), severity(kind, now));
+    }
+  }
+
+  [[nodiscard]] int trips(FaultKind kind) const {
+    return trips_[std::size_t(kind)];
+  }
+
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+  [[nodiscard]] sim::SimTime origin() const { return origin_; }
+
+ private:
+  FaultPlan plan_;
+  sim::SimTime origin_{};
+  obs::Hooks hooks_;
+  std::array<int, kFaultKindCount> trips_{};
+};
+
+}  // namespace gw::fault

@@ -21,6 +21,8 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault.h"
+#include "sim/simulation.h"
 #include "sim/time.h"
 #include "util/result.h"
 #include "util/rng.h"
@@ -58,12 +60,32 @@ class CompactFlashCard {
   CompactFlashCard(util::Rng rng, CfCardConfig config = {})
       : config_(config), rng_(rng) {}
 
+  // Attaches scripted fault windows (cf_write_fail). The card keeps no
+  // Simulation reference of its own, so the clock to query windows against
+  // comes along with the oracle; null/null detaches.
+  void set_fault_oracle(fault::FaultOracle* oracle,
+                        const sim::Simulation* simulation) {
+    oracle_ = oracle;
+    oracle_clock_ = simulation;
+  }
+
   // --- writes ---------------------------------------------------------
 
   // Two-phase write so a power cut can land between begin and commit.
   util::Status begin_write(const std::string& name, util::Bytes size) {
     if (metadata_corrupted_) return util::make_error("cf: card corrupted");
     if (in_flight_.has_value()) return util::make_error("cf: write busy");
+    if (oracle_ != nullptr && oracle_clock_ != nullptr) {
+      // An active cf_write_fail window rejects writes with probability
+      // severity — §VII's flaky card, scripted instead of spontaneous.
+      const sim::SimTime now = oracle_clock_->now();
+      const double severity =
+          oracle_->severity(fault::FaultKind::kCfWriteFail, now);
+      if (severity > 0.0 && rng_.bernoulli(severity)) {
+        oracle_->record_trip(fault::FaultKind::kCfWriteFail, now);
+        return util::make_error("cf: write fault (injected)");
+      }
+    }
     if ((used() + size) > config_.capacity) {
       return util::make_error("cf: card full");
     }
@@ -184,6 +206,8 @@ class CompactFlashCard {
 
   CfCardConfig config_;
   util::Rng rng_;
+  fault::FaultOracle* oracle_ = nullptr;
+  const sim::Simulation* oracle_clock_ = nullptr;
   std::map<std::string, FileInfo> files_;
   std::optional<InFlight> in_flight_;
   bool metadata_corrupted_ = false;

@@ -21,6 +21,7 @@
 #include <string>
 
 #include "env/gps_sky.h"
+#include "fault/fault.h"
 #include "power/power_system.h"
 #include "sim/simulation.h"
 #include "util/result.h"
@@ -58,6 +59,9 @@ class DgpsReceiver {
         rng_(rng),
         sky_(sky),
         load_(power.add_load("dgps", config.power)) {}
+
+  // Attaches scripted fault windows (dgps_no_fix); null detaches.
+  void set_fault_oracle(fault::FaultOracle* oracle) { oracle_ = oracle; }
 
   // --- power / reading lifecycle -------------------------------------------
 
@@ -129,10 +133,22 @@ class DgpsReceiver {
   // GPS time is authoritative at this resolution either way.
   [[nodiscard]] util::Result<sim::SimTime> time_fix() {
     if (!powered_) return util::make_error("dgps: not powered");
-    if (sky_ != nullptr && !sky_->fix_possible(simulation_.now())) {
+    const sim::SimTime now = simulation_.now();
+    if (sky_ != nullptr && !sky_->fix_possible(now)) {
       return util::make_error("dgps: too few satellites visible");
     }
-    if (!rng_.bernoulli(config_.fix_probability)) {
+    // An active dgps_no_fix window scales the success chance down (severity
+    // 1 = the constellation is effectively invisible for the window).
+    const double fix_probability =
+        oracle_ != nullptr
+            ? oracle_->success(fault::FaultKind::kDgpsNoFix, now,
+                               config_.fix_probability)
+            : config_.fix_probability;
+    if (!rng_.bernoulli(fix_probability)) {
+      if (oracle_ != nullptr &&
+          oracle_->active(fault::FaultKind::kDgpsNoFix, now)) {
+        oracle_->record_trip(fault::FaultKind::kDgpsNoFix, now);
+      }
       return util::make_error("dgps: no fix acquired");
     }
     const sim::Duration acquisition =
@@ -168,6 +184,7 @@ class DgpsReceiver {
   DgpsConfig config_;
   util::Rng rng_;
   env::GpsSky* sky_;
+  fault::FaultOracle* oracle_ = nullptr;
   power::LoadHandle load_;
   bool powered_ = false;
   std::uint64_t power_generation_ = 0;

@@ -10,9 +10,16 @@
 // Transfers are drawn stochastically: registration can fail, and an
 // established session can drop mid-transfer — the everyday failures (§I:
 // "known to occur frequently, especially in the wetter summer") that the
-// daily-retry design absorbs.
+// daily-retry design absorbs. A fault::FaultOracle can be attached to
+// compose a scripted gprs_outage window with the base hazards (registration
+// and per-minute drop), so a whole wet summer can be replayed from a plan.
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+
+#include "fault/fault.h"
 #include "power/power_system.h"
 #include "sim/simulation.h"
 #include "util/rng.h"
@@ -29,16 +36,24 @@ struct GprsConfig {
   double protocol_overhead = 1.12;   // TCP/PPP framing
   double cost_per_mib = 5.0;         // currency units per MiB (§II)
   // Probability a session wedges without failing — §VI's "a SCP transfer
-  // hangs" scenario. A hung transfer never returns; only the 2-hour
-  // watchdog ends it (the reported elapsed time is effectively infinite).
+  // hangs" scenario. A hung transfer never returns by itself; how long it
+  // eats is hang_duration, clamped by the caller's session cap (the 2-hour
+  // watchdog bounds it regardless).
   double hang_per_session = 0.0;
+  sim::Duration hang_duration = sim::hours(24);
 };
 
 struct TransferOutcome {
   bool success = false;
+  bool hung = false;         // session wedged; elapsed is the capped stall
   sim::Duration elapsed{};   // connect + transfer time actually spent
   util::Bytes sent{0};       // payload bytes that got through
 };
+
+// "No cap": effectively infinite, minus headroom so adding registration
+// time cannot overflow.
+inline constexpr sim::Duration kNoSessionCap{
+    std::numeric_limits<std::int64_t>::max() / 4};
 
 class GprsModem {
  public:
@@ -50,18 +65,42 @@ class GprsModem {
         rng_(rng),
         load_(power.add_load("gprs", config.power)) {}
 
+  // Attaches scripted fault windows (gprs_outage); null detaches.
+  void set_fault_oracle(fault::FaultOracle* oracle) { oracle_ = oracle; }
+
   [[nodiscard]] bool powered() const { return powered_; }
 
   void power_on() {
+    // An explicit power-on also cancels any pending hold_powered() auto-off
+    // (the new owner decides when the modem goes dark).
+    ++hold_generation_;
     if (powered_) return;
     powered_ = true;
     power_.set_load(load_, true);
   }
 
   void power_off() {
+    ++hold_generation_;
     if (!powered_) return;
     powered_ = false;
     power_.set_load(load_, false);
+  }
+
+  // Powers on and schedules an automatic power-off after `duration` — the
+  // recovery path uses this so an NTP resync pays real session energy
+  // without blocking the caller. Any explicit power_on()/power_off() in the
+  // meantime cancels the pending auto-off.
+  void hold_powered(sim::Duration duration) {
+    // Span at least one power-integration tick: a session shorter than the
+    // tick would otherwise be invisible to the energy ledger (and a real
+    // modem's boot/shutdown housekeeping eats that long anyway).
+    duration =
+        std::max(duration, power_.tick_interval() + sim::seconds(1));
+    power_on();
+    const std::uint64_t generation = hold_generation_;
+    simulation_.schedule_in(duration, [this, generation] {
+      if (generation == hold_generation_) power_off();
+    });
   }
 
   // Ideal payload transfer time (no failures), registration excluded.
@@ -73,33 +112,55 @@ class GprsModem {
   }
 
   // Attempts to move `payload` over a fresh session. Draws registration and
-  // per-minute drop hazards; the outcome reports how long the attempt took
-  // and how much payload made it (partial progress counts: the transfer
-  // manager resumes file-by-file, §VI). Requires power; the *caller* owns
+  // per-minute drop hazards (each composed with an active gprs_outage fault
+  // window when an oracle is attached); the outcome reports how long the
+  // attempt took and how much payload made it (partial progress counts: the
+  // transfer manager resumes file-by-file, §VI). A wedged session stalls for
+  // min(hang_duration, session_cap). Requires power; the *caller* owns
   // advancing simulated time by `elapsed` — devices never block the clock.
-  [[nodiscard]] TransferOutcome attempt_transfer(util::Bytes payload) {
+  [[nodiscard]] TransferOutcome attempt_transfer(
+      util::Bytes payload, sim::Duration session_cap = kNoSessionCap) {
     TransferOutcome outcome;
     if (!powered_) return outcome;
+    const sim::SimTime now = simulation_.now();
     ++sessions_attempted_;
     outcome.elapsed = config_.registration_time;
-    if (!rng_.bernoulli(config_.registration_success)) {
+
+    const double registration_success =
+        oracle_ != nullptr
+            ? oracle_->success(fault::FaultKind::kGprsOutage, now,
+                               config_.registration_success)
+            : config_.registration_success;
+    if (!rng_.bernoulli(registration_success)) {
       ++registration_failures_;
+      if (oracle_ != nullptr &&
+          oracle_->active(fault::FaultKind::kGprsOutage, now)) {
+        oracle_->record_trip(fault::FaultKind::kGprsOutage, now);
+      }
       return outcome;
     }
     if (rng_.bernoulli(config_.hang_per_session)) {
-      // Wedged: nothing moves and control never comes back inside any
-      // realistic window — the watchdog will cut power first (§VI).
+      // Wedged: nothing moves and control never comes back inside the
+      // session — the watchdog (or the caller's session cap) ends it (§VI).
       ++hangs_;
-      outcome.elapsed = sim::hours(24);
+      outcome.hung = true;
+      outcome.elapsed += std::min(config_.hang_duration, session_cap);
       return outcome;
     }
+    const double drop_per_minute = std::min(
+        1.0, oracle_ != nullptr
+                 ? oracle_->hazard(fault::FaultKind::kGprsOutage, now,
+                                   config_.drop_per_minute)
+                 : config_.drop_per_minute);
     const double total_minutes = transfer_time(payload).to_minutes();
-    // Walk the transfer minute by minute against the drop hazard.
+    // Walk the transfer minute by minute against the drop hazard. The
+    // per-step probability is clamped to 1: an aggressive injected hazard
+    // must mean "drops immediately", not an out-of-range Bernoulli draw.
     double minutes_survived = 0.0;
     bool dropped = false;
     while (minutes_survived < total_minutes) {
       const double step = std::min(1.0, total_minutes - minutes_survived);
-      if (rng_.bernoulli(config_.drop_per_minute * step)) {
+      if (rng_.bernoulli(std::min(1.0, drop_per_minute * step))) {
         dropped = true;
         // The drop lands somewhere inside this step.
         minutes_survived += step * rng_.uniform();
@@ -115,7 +176,15 @@ class GprsModem {
     outcome.success = !dropped;
     bytes_sent_ += outcome.sent;
     cost_ += outcome.sent.mib() * config_.cost_per_mib;
-    if (dropped) ++session_drops_;
+    if (dropped) {
+      ++session_drops_;
+      if (oracle_ != nullptr &&
+          oracle_->active(fault::FaultKind::kGprsOutage, now)) {
+        oracle_->record_trip(fault::FaultKind::kGprsOutage, now);
+      }
+    } else {
+      ++sessions_succeeded_;
+    }
     return outcome;
   }
 
@@ -124,11 +193,19 @@ class GprsModem {
   [[nodiscard]] util::Bytes bytes_sent() const { return bytes_sent_; }
   [[nodiscard]] double data_cost() const { return cost_; }
   [[nodiscard]] int sessions_attempted() const { return sessions_attempted_; }
+  [[nodiscard]] int sessions_succeeded() const { return sessions_succeeded_; }
   [[nodiscard]] int registration_failures() const {
     return registration_failures_;
   }
   [[nodiscard]] int session_drops() const { return session_drops_; }
   [[nodiscard]] int hangs() const { return hangs_; }
+
+  // Every attempted session ends in exactly one of the four outcomes; the
+  // soak harness asserts this never drifts.
+  [[nodiscard]] bool ledger_consistent() const {
+    return sessions_attempted_ == registration_failures_ + hangs_ +
+                                      session_drops_ + sessions_succeeded_;
+  }
 
   [[nodiscard]] const GprsConfig& config() const { return config_; }
 
@@ -138,10 +215,13 @@ class GprsModem {
   GprsConfig config_;
   util::Rng rng_;
   power::LoadHandle load_;
+  fault::FaultOracle* oracle_ = nullptr;
   bool powered_ = false;
+  std::uint64_t hold_generation_ = 0;
   util::Bytes bytes_sent_{0};
   double cost_ = 0.0;
   int sessions_attempted_ = 0;
+  int sessions_succeeded_ = 0;
   int registration_failures_ = 0;
   int session_drops_ = 0;
   int hangs_ = 0;

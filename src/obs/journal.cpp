@@ -26,6 +26,14 @@ const char* to_string(EventType type) {
       return "cold_boot";
     case EventType::kWindowExhausted:
       return "window_exhausted";
+    case EventType::kFaultTrip:
+      return "fault_trip";
+    case EventType::kDegradedEnter:
+      return "degraded_enter";
+    case EventType::kDegradedExit:
+      return "degraded_exit";
+    case EventType::kSessionTimeout:
+      return "session_timeout";
   }
   return "unknown";
 }

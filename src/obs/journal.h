@@ -33,6 +33,10 @@ enum class EventType : int {
   kPowerRestored = 8,    // a = state of charge at restore
   kColdBoot = 9,         // a = cold-boot count
   kWindowExhausted = 10, // a = files left queued, b = bytes left queued
+  kFaultTrip = 11,       // a = fault::FaultKind, b = window severity
+  kDegradedEnter = 12,   // a = consecutive failed upload days, b = queued files
+  kDegradedExit = 13,    // a = days spent degraded
+  kSessionTimeout = 14,  // a = session elapsed seconds, b = cap seconds
 };
 
 [[nodiscard]] const char* to_string(EventType type);

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "env/environment.h"
+#include "fault/fault.h"
 #include "obs/journal.h"
 #include "power/battery.h"
 #include "power/chargers.h"
@@ -89,6 +90,10 @@ class PowerSystem {
   // the per-tick path).
   void set_hooks(obs::Hooks hooks) { hooks_ = hooks; }
 
+  // Attaches scripted fault windows (harvest_blackout: a buried panel or a
+  // frozen turbine delivers severity-scaled-down watts); null detaches.
+  void set_fault_oracle(fault::FaultOracle* oracle) { oracle_ = oracle; }
+
   // Snapshots the ledgers and battery health into the registry under the
   // "power" component: harvested_joules.<charger>, consumed_joules.<load>,
   // battery_soc, brown_outs. Call at any natural boundary (the station does
@@ -107,6 +112,7 @@ class PowerSystem {
 
   // --- observation ---------------------------------------------------------
 
+  [[nodiscard]] sim::Duration tick_interval() const { return config_.tick; }
   [[nodiscard]] LeadAcidBattery& battery() { return battery_; }
   [[nodiscard]] const LeadAcidBattery& battery() const { return battery_; }
   [[nodiscard]] bool browned_out() const { return browned_out_; }
@@ -168,9 +174,14 @@ class PowerSystem {
     const double dt_hours = dt.to_hours();
     const double dt_seconds = dt.to_seconds();
 
+    const double harvest_factor =
+        oracle_ != nullptr
+            ? 1.0 - oracle_->severity(fault::FaultKind::kHarvestBlackout, now)
+            : 1.0;
     util::Watts harvest_total{0.0};
     for (const auto& charger : chargers_) {
-      const util::Watts watts = charger->output(now, environment_);
+      const util::Watts watts =
+          charger->output(now, environment_) * harvest_factor;
       harvested_[charger->name()] += util::energy(watts, dt_seconds);
       harvest_total += watts;
     }
@@ -235,6 +246,7 @@ class PowerSystem {
   std::map<std::string, util::Joules> harvested_;
   util::Amps last_charge_current_{0.0};
   obs::Hooks hooks_;
+  fault::FaultOracle* oracle_ = nullptr;
   bool browned_out_ = false;
   int brown_out_count_ = 0;
   std::vector<std::function<void()>> brown_out_handlers_;

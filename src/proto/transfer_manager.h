@@ -10,6 +10,7 @@
 // match the deployed system and is swept in bench_backlog_watchdog.
 #pragma once
 
+#include <algorithm>
 #include <deque>
 #include <functional>
 #include <string>
@@ -34,6 +35,8 @@ struct UploadReport {
   sim::Duration elapsed{};
   bool window_exhausted = false;
   int failed_sessions = 0;
+  int sessions_timed_out = 0;      // sessions that wedged and hit the cap
+  sim::Duration backoff_spent{};   // window time burned waiting to retry
 };
 
 struct TransferManagerConfig {
@@ -44,7 +47,24 @@ struct TransferManagerConfig {
   // fresh science data is not starved behind a multi-day dGPS backlog.
   // Off = deployed behaviour (strict FIFO).
   bool priority_ordering = false;
+  // Per-session timeout: a wedged session (§VI's hung SCP) is cut after
+  // min(session_timeout, window budget left) instead of eating the whole
+  // hang_duration and leaving the 2-hour watchdog as the only backstop.
+  // Zero = disabled (deployed behaviour).
+  sim::Duration session_timeout{0};
+  // Capped exponential backoff between failed sessions: the k-th
+  // consecutive failure waits min(base * 2^(k-1), cap) of window time
+  // before redialling — a flaky network is not hammered at line rate.
+  // Zero base = disabled (deployed behaviour: immediate redial).
+  sim::Duration retry_backoff_base{0};
+  sim::Duration retry_backoff_cap = sim::minutes(16);
 };
+
+// Optional file-admission filter for run_window: return false to leave a
+// file queued this window. The degraded-mode station uses it to upload the
+// logfile and state report only ("log-only upload") while science data
+// waits for the network to come back.
+using AdmitPredicate = std::function<bool(const UploadFile&)>;
 
 class TransferManager {
  public:
@@ -88,17 +108,30 @@ class TransferManager {
   }
   [[nodiscard]] bool empty() const { return queue_.empty(); }
 
-  // Uploads as much of the queue as fits in `budget`, oldest file first.
-  // The modem must already be powered; the caller owns advancing simulated
-  // time by report.elapsed (it is part of the daily run's sequence). `now`
-  // only timestamps journal records (instrumented callers pass it).
+  // Uploads as much of the queue as fits in `budget`, oldest admitted file
+  // first (no `admit` = oldest file, the deployed behaviour). The modem
+  // must already be powered; the caller owns advancing simulated time by
+  // report.elapsed (it is part of the daily run's sequence). `now` only
+  // timestamps journal records (instrumented callers pass it).
+  //
+  // The retry budget is explicit: max_session_retries extra sessions per
+  // window beyond the first of each attempt, consecutive failures separated
+  // by capped exponential backoff (when configured) that consumes window
+  // time like any other use of the channel.
   UploadReport run_window(hw::GprsModem& modem, sim::Duration budget,
-                          sim::SimTime now = sim::kEpoch) {
+                          sim::SimTime now = sim::kEpoch,
+                          const AdmitPredicate& admit = {}) {
     UploadReport report;
     int retries_left = config_.max_session_retries;
+    int consecutive_failures = 0;
 
     while (!queue_.empty()) {
-      UploadFile& file = queue_.front();
+      const auto it =
+          admit ? std::find_if(queue_.begin(), queue_.end(),
+                               [&](const UploadFile& f) { return admit(f); })
+                : queue_.begin();
+      if (it == queue_.end()) break;  // nothing admitted this window
+      UploadFile& file = *it;
       const util::Bytes remaining = file.size - file.sent;
       const sim::Duration budget_left = budget - report.elapsed;
       if (budget_left <= sim::Duration{0}) {
@@ -121,14 +154,24 @@ class TransferManager {
       const util::Bytes attempt_size = std::min(remaining, max_bytes);
       const bool truncated_by_window = attempt_size < remaining;
 
-      const hw::TransferOutcome outcome = modem.attempt_transfer(attempt_size);
+      const sim::Duration session_cap =
+          config_.session_timeout > sim::Duration{0}
+              ? std::min(config_.session_timeout, budget_left)
+              : hw::kNoSessionCap;
+      const hw::TransferOutcome outcome =
+          modem.attempt_transfer(attempt_size, session_cap);
       report.elapsed += outcome.elapsed;
       report.bytes_sent += outcome.sent;
+      if (outcome.hung) {
+        ++report.sessions_timed_out;
+        publish_timeout(outcome.elapsed, session_cap, now);
+      }
 
       if (!outcome.success && outcome.sent.count() == 0) {
-        // Registration failure or instant drop.
+        // Registration failure, instant drop, or a wedged session.
         ++report.failed_sessions;
         if (--retries_left < 0) break;
+        apply_backoff(++consecutive_failures, budget, report);
         continue;
       }
 
@@ -136,7 +179,8 @@ class TransferManager {
       if (outcome.success && !truncated_by_window &&
           progressed == remaining) {
         // Whole file made it: it leaves the glacier.
-        complete_front(report);
+        consecutive_failures = 0;
+        complete_file(it, report);
         continue;
       }
 
@@ -144,7 +188,8 @@ class TransferManager {
       if (config_.chunk_resume) {
         file.sent += progressed;
         if (file.sent >= file.size) {
-          complete_front(report);
+          consecutive_failures = 0;
+          complete_file(it, report);
           continue;
         }
       }
@@ -157,6 +202,7 @@ class TransferManager {
       }
       ++report.failed_sessions;
       if (--retries_left < 0) break;
+      apply_backoff(++consecutive_failures, budget, report);
     }
     publish_window(report, now);
     return report;
@@ -165,10 +211,43 @@ class TransferManager {
   [[nodiscard]] const std::deque<UploadFile>& queue() const { return queue_; }
 
  private:
-  void complete_front(UploadReport& report) {
-    if (on_complete_) on_complete_(queue_.front().name, queue_.front().size);
-    queue_.pop_front();
+  void complete_file(std::deque<UploadFile>::iterator it,
+                     UploadReport& report) {
+    if (on_complete_) on_complete_(it->name, it->size);
+    queue_.erase(it);
     ++report.files_completed;
+  }
+
+  // Burns min(base * 2^(k-1), cap) of window time before the next redial;
+  // no-op when backoff is disabled. Never pushes elapsed past the budget —
+  // the top-of-loop exhaustion check handles a backoff that would.
+  void apply_backoff(int consecutive_failures, sim::Duration budget,
+                     UploadReport& report) {
+    if (config_.retry_backoff_base <= sim::Duration{0}) return;
+    sim::Duration wait = config_.retry_backoff_base;
+    for (int i = 1; i < consecutive_failures && wait < config_.retry_backoff_cap;
+         ++i) {
+      wait = wait * 2;
+    }
+    wait = std::min(wait, config_.retry_backoff_cap);
+    wait = std::min(wait, budget - report.elapsed);
+    if (wait <= sim::Duration{0}) return;
+    report.elapsed += wait;
+    report.backoff_spent += wait;
+  }
+
+  void publish_timeout(sim::Duration elapsed, sim::Duration cap,
+                       sim::SimTime now) {
+    if (hooks_.metrics != nullptr) {
+      hooks_.metrics->counter("transfer_manager", "sessions_timed_out")
+          .increment();
+    }
+    if (hooks_.journal != nullptr) {
+      hooks_.journal->record(now.millis_since_epoch(),
+                             obs::EventType::kSessionTimeout,
+                             "transfer_manager", elapsed.to_seconds(),
+                             cap.to_seconds());
+    }
   }
 
   void publish_window(const UploadReport& report, sim::SimTime now) {
@@ -181,6 +260,8 @@ class TransferManager {
           .increment(std::uint64_t(report.bytes_sent.count()));
       metrics.counter("transfer_manager", "failed_sessions")
           .increment(std::uint64_t(report.failed_sessions));
+      metrics.counter("transfer_manager", "backoff_seconds")
+          .increment(std::uint64_t(report.backoff_spent.to_seconds()));
       if (report.window_exhausted) {
         metrics.counter("transfer_manager", "windows_exhausted").increment();
       }

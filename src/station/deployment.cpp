@@ -1,5 +1,7 @@
 #include "station/deployment.h"
 
+#include <stdexcept>
+
 #include "power/chargers.h"
 
 namespace gw::station {
@@ -27,8 +29,20 @@ Deployment::Deployment(DeploymentConfig config)
       environment_(config.environment, config.seed) {
   util::Rng rng{config.seed};
 
+  if (!config_.fault_spec.empty()) {
+    auto plan = fault::FaultPlan::parse(config_.fault_spec);
+    if (!plan.ok()) {
+      throw std::invalid_argument("Deployment: " + plan.error().message);
+    }
+    fault_oracle_ =
+        fault::FaultOracle{std::move(plan.value()), sim::to_time(config.start)};
+    fault_oracle_.set_hooks(obs::Hooks{&fault_metrics_, &fault_journal_});
+    server_.set_fault_oracle(&fault_oracle_);
+  }
+
   base_ = std::make_unique<Station>(simulation_, environment_, server_,
                                     rng.fork("base"), config.base);
+  if (!config_.fault_spec.empty()) base_->set_fault_oracle(&fault_oracle_);
   // §III: base station harvest = 10 W solar + 50 W wind turbine.
   base_->add_charger(
       std::make_unique<power::SolarPanel>(power::SolarPanelConfig{}));
@@ -38,6 +52,9 @@ Deployment::Deployment(DeploymentConfig config)
   reference_ = std::make_unique<Station>(simulation_, environment_, server_,
                                          rng.fork("reference"),
                                          config.reference);
+  if (!config_.fault_spec.empty()) {
+    reference_->set_fault_oracle(&fault_oracle_);
+  }
   // §III: reference station = solar panel + café mains (tourist season).
   reference_->add_charger(
       std::make_unique<power::SolarPanel>(power::SolarPanelConfig{}));

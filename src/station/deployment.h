@@ -9,9 +9,13 @@
 #pragma once
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "env/environment.h"
+#include "fault/fault.h"
+#include "obs/journal.h"
+#include "obs/metrics.h"
 #include "sim/simulation.h"
 #include "sim/trace.h"
 #include "station/probe_node.h"
@@ -30,6 +34,11 @@ struct DeploymentConfig {
   StationConfig reference;
   bool trace_enabled = true;
   sim::Duration trace_interval = sim::minutes(30);
+  // Optional fault plan (docs/FAULTS.md spec text). When non-empty it is
+  // parsed at construction, anchored at `start`, and wired into both
+  // stations and the server. A parse error throws std::invalid_argument:
+  // a scripted season that silently runs clean would defeat the test.
+  std::string fault_spec;
 
   DeploymentConfig() {
     base.name = "base";
@@ -65,6 +74,15 @@ class Deployment {
   // the Fig 5 / Fig 6 benches.
   [[nodiscard]] sim::Trace& trace() { return trace_; }
 
+  // The shared fault oracle (always present; empty plan when no fault_spec
+  // was given) and its instrumentation pair — fleet-level observables the
+  // soak harness exports alongside the per-station registries.
+  [[nodiscard]] fault::FaultOracle& fault_oracle() { return fault_oracle_; }
+  [[nodiscard]] obs::MetricsRegistry& fault_metrics() {
+    return fault_metrics_;
+  }
+  [[nodiscard]] obs::EventJournal& fault_journal() { return fault_journal_; }
+
   [[nodiscard]] const DeploymentConfig& config() const { return config_; }
 
  private:
@@ -73,6 +91,10 @@ class Deployment {
   DeploymentConfig config_;
   sim::Simulation simulation_;
   env::Environment environment_;
+  // Declared before the stations: devices hold FaultOracle* into this.
+  obs::MetricsRegistry fault_metrics_;
+  obs::EventJournal fault_journal_;
+  fault::FaultOracle fault_oracle_;
   SouthamptonServer server_;
   std::unique_ptr<Station> base_;
   std::unique_ptr<Station> reference_;

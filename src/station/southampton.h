@@ -18,6 +18,7 @@
 #include "core/special_command.h"
 #include "core/state_sync.h"
 #include "core/update_manager.h"
+#include "fault/fault.h"
 #include "sim/time.h"
 #include "util/units.h"
 
@@ -32,6 +33,25 @@ struct ReceivedFile {
 
 class SouthamptonServer {
  public:
+  // --- availability -----------------------------------------------------
+
+  // Attaches scripted fault windows (server_down); null detaches. The
+  // server itself stays deterministic: it only reports the active outage
+  // severity, and each *station* draws its own reachability Bernoulli
+  // against it (so two stations can disagree about a partial outage, as
+  // they would about a flaky internet path).
+  void set_fault_oracle(fault::FaultOracle* oracle) { oracle_ = oracle; }
+
+  // Severity of any active server_down window at `now` (0 = fully up,
+  // 1 = hard down for the whole window).
+  [[nodiscard]] double down_severity(sim::SimTime now) const {
+    return oracle_ != nullptr
+               ? oracle_->severity(fault::FaultKind::kServerDown, now)
+               : 0.0;
+  }
+
+  [[nodiscard]] fault::FaultOracle* fault_oracle() const { return oracle_; }
+
   // --- state sync -----------------------------------------------------
 
   [[nodiscard]] core::SyncServer& sync() { return sync_; }
@@ -130,6 +150,7 @@ class SouthamptonServer {
   }
 
  private:
+  fault::FaultOracle* oracle_ = nullptr;
   core::SyncServer sync_;
   std::vector<ReceivedFile> received_;
   std::map<std::string, util::Bytes> bytes_by_station_;

@@ -73,6 +73,17 @@ Station::Station(sim::Simulation& simulation, env::Environment& environment,
   watchdog_.set_hooks(hooks);
   recovery_.set_hooks(hooks);
   uploads_.set_hooks(hooks);
+  // §IV NTP fallback rides a real modem session (registration, energy,
+  // data cost) rather than a free clock write.
+  recovery_.attach_modem(&gprs_);
+}
+
+void Station::set_fault_oracle(fault::FaultOracle* oracle) {
+  gprs_.set_fault_oracle(oracle);
+  dgps_.set_fault_oracle(oracle);
+  cf_.set_fault_oracle(oracle, oracle != nullptr ? &simulation_ : nullptr);
+  power_.set_fault_oracle(oracle);
+  recovery_.set_fault_oracle(oracle);
 }
 
 void Station::add_probe(ProbeNode& probe) { probes_.push_back(&probe); }
@@ -246,6 +257,10 @@ void Station::finish_run(bool aborted) {
       .counter("power_policy",
                "occupancy_days.state" + std::to_string(core::to_int(state_)))
       .increment();
+  if (degraded_) {
+    ++stats_.degraded_days;
+    metrics_.counter("station", "degraded_days").increment();
+  }
   power_.publish_ledgers();
   if (!power_.browned_out()) {
     schedule_gps_program();
@@ -269,9 +284,13 @@ std::optional<sim::Duration> Station::probe_chunk() {
         probes_[(probe_cursor_ + probe_offset_) % probes_.size()];
     ++probe_cursor_;
 
+    // Degraded mode defers probe work: half the session budget, so the
+    // queue the network cannot drain stops growing twice as fast.
+    const sim::Duration session_budget =
+        degraded_ ? config_.probe_session_budget / 2
+                  : config_.probe_session_budget;
     const sim::Duration budget_left = std::min(
-        config_.probe_session_budget - probe_budget_used_,
-        watchdog_.remaining());
+        session_budget - probe_budget_used_, watchdog_.remaining());
     if (budget_left <= sim::Duration{0}) return std::nullopt;
 
     if (!probe->alive()) {
@@ -433,14 +452,15 @@ sim::Duration Station::upload_power_state() {
   report.day_ms = board_.msp().rtc_now().millis_since_epoch();
   const std::string wire = report.encode();
   const auto outcome = gprs_.attempt_transfer(proto::wire_size(wire));
-  if (outcome.success) {
+  if (outcome.success && server_reachable()) {
     // The server decodes what actually arrived.
     const auto decoded = proto::StateReport::decode(wire);
     if (decoded.ok()) {
       server_.sync().report_state(decoded.value().station,
-                                  decoded.value().state);
+                                  decoded.value().state, simulation_.now());
     }
   } else {
+    // GPRS session failed, or it came up but Southampton never answered.
     ++stats_.state_upload_failures;
   }
   return outcome.elapsed;
@@ -450,10 +470,74 @@ sim::Duration Station::upload_data() {
   gprs_.power_on();
   // Keep a slice of the window for the remaining control steps.
   const sim::Duration reserve = sim::minutes(5);
-  const sim::Duration budget = watchdog_.remaining() - reserve;
+  sim::Duration budget = watchdog_.remaining() - reserve;
+  if (degraded_) {
+    budget = std::min(budget, config_.degraded_upload_budget);
+  }
   if (budget <= sim::Duration{0}) return sim::Duration{0};
-  const auto report = uploads_.run_window(gprs_, budget, simulation_.now());
+  if (!server_reachable()) {
+    // The modem can register but the rendezvous endpoint never answers:
+    // the day makes no progress at the cost of the retry budget's worth of
+    // dialling. Nothing reaches run_window, so the transfer ledger and the
+    // server's receipts stay reconciled.
+    note_upload_day(/*progressed=*/false);
+    return gprs_.config().registration_time *
+           std::int64_t(1 + config_.uploads.max_session_retries);
+  }
+  proto::AdmitPredicate admit;
+  if (degraded_) {
+    // Log-only upload: the logfile (and the state it describes) still gets
+    // out daily; science files wait for the network to come back.
+    admit = [](const proto::UploadFile& file) {
+      return file.name.rfind("log_", 0) == 0;
+    };
+  }
+  const auto report =
+      uploads_.run_window(gprs_, budget, simulation_.now(), admit);
+  note_upload_day(report.files_completed > 0);
   return report.elapsed;
+}
+
+bool Station::server_reachable() {
+  const double severity = server_.down_severity(simulation_.now());
+  if (severity <= 0.0) return true;
+  if (!rng_.bernoulli(severity)) return true;
+  if (server_.fault_oracle() != nullptr) {
+    server_.fault_oracle()->record_trip(fault::FaultKind::kServerDown,
+                                        simulation_.now());
+  }
+  return false;
+}
+
+void Station::note_upload_day(bool progressed) {
+  if (config_.degrade_after_failed_days <= 0) return;
+  if (progressed) {
+    failed_upload_days_ = 0;
+    if (degraded_) {
+      degraded_ = false;
+      const int days_degraded = day_counter_ - degraded_since_day_;
+      journal_.record(simulation_.now().millis_since_epoch(),
+                      obs::EventType::kDegradedExit, "station",
+                      double(days_degraded));
+      log_manager_.info(simulation_.now().millis_since_epoch(), "degraded",
+                        "upload progress: leaving log-only mode after " +
+                            std::to_string(days_degraded) + " days");
+    }
+    return;
+  }
+  ++failed_upload_days_;
+  if (!degraded_ &&
+      failed_upload_days_ >= config_.degrade_after_failed_days) {
+    degraded_ = true;
+    degraded_since_day_ = day_counter_;
+    journal_.record(simulation_.now().millis_since_epoch(),
+                    obs::EventType::kDegradedEnter, "station",
+                    double(failed_upload_days_),
+                    double(uploads_.queued_files()));
+    log_manager_.warn(simulation_.now().millis_since_epoch(), "degraded",
+                      std::to_string(failed_upload_days_) +
+                          " days without upload progress: log-only mode");
+  }
 }
 
 sim::Duration Station::fetch_override() {
@@ -463,13 +547,14 @@ sim::Duration Station::fetch_override() {
   const std::string request_wire = request.encode();
   // Request up + response down ride one session.
   proto::OverrideResponse response;
-  const auto server_override = server_.sync().override_for_client();
+  const auto server_override =
+      server_.sync().override_for_client(simulation_.now());
   response.has_override = server_override.has_value();
   if (server_override.has_value()) response.state = *server_override;
   const std::string response_wire = response.encode();
   const auto outcome = gprs_.attempt_transfer(
       proto::wire_size(request_wire) + proto::wire_size(response_wire));
-  if (outcome.success) {
+  if (outcome.success && server_reachable()) {
     const auto decoded = proto::OverrideResponse::decode(response_wire);
     if (decoded.ok() && decoded.value().has_override) {
       last_override_ = decoded.value().state;
@@ -487,7 +572,7 @@ sim::Duration Station::fetch_override() {
 sim::Duration Station::run_special() {
   gprs_.power_on();
   const auto outcome = gprs_.attempt_transfer(kSpecialQuery);
-  if (!outcome.success) return outcome.elapsed;
+  if (!outcome.success || !server_reachable()) return outcome.elapsed;
   const auto command = server_.fetch_special(config_.name);
   if (!command.has_value()) return outcome.elapsed;
 
@@ -512,6 +597,7 @@ sim::Duration Station::run_special() {
 }
 
 sim::Duration Station::apply_pending_update() {
+  if (!server_reachable()) return sim::Duration{0};
   const auto package = server_.fetch_update(config_.name);
   if (!package.has_value()) return sim::Duration{0};
   gprs_.power_on();
@@ -548,6 +634,7 @@ bool Station::comms_allowed() {
 }
 
 sim::Duration Station::apply_pending_config() {
+  if (!server_reachable()) return sim::Duration{0};
   const auto update = server_.fetch_config_update(config_.name);
   if (!update.has_value()) return sim::Duration{0};
   gprs_.power_on();

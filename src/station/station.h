@@ -108,6 +108,15 @@ struct StationConfig {
   core::DataPriorityConfig data_priority;
   // Forced communication still needs a sliver of battery.
   double forced_comms_min_soc = 0.05;
+  // Graceful degradation under sustained comms failure: after this many
+  // consecutive daily runs with zero upload progress the station drops to a
+  // log-only upload (science files stay queued), shrinks the window to
+  // degraded_upload_budget, and halves the probe session budget — burning
+  // watts into a dead network is the one thing a glacier winter cannot
+  // forgive. A day that completes any upload exits the mode. 0 = disabled
+  // (deployed behaviour).
+  int degrade_after_failed_days = 0;
+  sim::Duration degraded_upload_budget = sim::minutes(8);
 };
 
 struct StationStats {
@@ -123,6 +132,7 @@ struct StationStats {
   int override_fetch_failures = 0;
   int state_upload_failures = 0;
   int forced_comms_days = 0;  // §VII data-priority override engaged
+  int degraded_days = 0;      // daily runs spent in log-only degraded mode
 };
 
 class Station {
@@ -143,9 +153,15 @@ class Station {
   // Arms the daily schedule and the power tick. Call once.
   void start();
 
+  // Attaches scripted fault windows to every device that models one (modem,
+  // dGPS, CF card, power system, recovery). The deployment wires this when
+  // a fault plan is configured; null detaches everywhere.
+  void set_fault_oracle(fault::FaultOracle* oracle);
+
   // --- observation -------------------------------------------------------
 
   [[nodiscard]] core::PowerState current_state() const { return state_; }
+  [[nodiscard]] bool degraded() const { return degraded_; }
   [[nodiscard]] const StationStats& stats() const { return stats_; }
   [[nodiscard]] power::PowerSystem& power() { return power_; }
   [[nodiscard]] hw::Gumsense& board() { return board_; }
@@ -231,6 +247,15 @@ class Station {
   // Fig 4's state-0 gate, plus the §VII data-priority exception.
   [[nodiscard]] bool comms_allowed();
 
+  // One Bernoulli draw against any active server_down window: does this
+  // contact with Southampton get through? Draws nothing when no window is
+  // active, so seeded runs without a fault plan are unchanged.
+  [[nodiscard]] bool server_reachable();
+
+  // Tracks consecutive zero-progress upload days and drives the degraded
+  // mode (entered/exited + journalled here).
+  void note_upload_day(bool progressed);
+
   // --- failure / recovery -------------------------------------------------
   void on_brown_out();
   void on_cold_boot();
@@ -266,6 +291,9 @@ class Station {
   core::RemoteConfig remote_config_;
   bool urgent_data_today_ = false;
   bool forced_comms_counted_ = false;
+  bool degraded_ = false;
+  int failed_upload_days_ = 0;   // consecutive zero-progress upload days
+  int degraded_since_day_ = 0;   // day_counter_ when degraded mode began
 
   std::vector<ProbeNode*> probes_;
   std::size_t probe_cursor_ = 0;      // per-run iteration over probes_

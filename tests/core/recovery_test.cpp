@@ -72,20 +72,80 @@ TEST(Recovery, DefersWhenGpsFails) {
   EXPECT_EQ(recovery.deferrals(), 1);
 }
 
+// A modem that always registers and never drops, so NTP-path tests are
+// deterministic.
+hw::GprsConfig reliable_gprs() {
+  hw::GprsConfig config;
+  config.registration_success = 1.0;
+  config.drop_per_minute = 0.0;
+  return config;
+}
+
 TEST(Recovery, NtpFallbackRescuesGpsFailure) {
   Fixture f;
   hw::DgpsConfig no_fix;
   no_fix.fix_probability = 0.0;
   hw::DgpsReceiver blind{f.simulation, f.power, util::Rng{3}, no_fix};
+  hw::GprsModem gprs{f.simulation, f.power, util::Rng{5}, reliable_gprs()};
   RecoveryConfig config;
   config.ntp_fallback = true;  // §IV extension
   config.ntp_success = 1.0;
   RecoveryManager recovery{f.simulation, f.msp, blind, util::Rng{11}, config};
+  recovery.attach_modem(&gprs);
   recovery.record_successful_run();
   f.msp.brown_out();
   EXPECT_EQ(recovery.attempt(), RecoveryOutcome::kResyncedByNtp);
   EXPECT_FALSE(recovery.rtc_untrusted());
   EXPECT_EQ(recovery.ntp_resyncs(), 1);
+  // The resync rode a real session.
+  EXPECT_EQ(gprs.sessions_attempted(), 1);
+  EXPECT_GT(gprs.bytes_sent().count(), 0);
+}
+
+TEST(Recovery, NtpFallbackUnavailableWithoutModem) {
+  // ntp_fallback configured but no modem attached (e.g. the bench fixture
+  // predating the wiring): the fallback cannot run and the attempt defers.
+  Fixture f;
+  hw::DgpsConfig no_fix;
+  no_fix.fix_probability = 0.0;
+  hw::DgpsReceiver blind{f.simulation, f.power, util::Rng{3}, no_fix};
+  RecoveryConfig config;
+  config.ntp_fallback = true;
+  config.ntp_success = 1.0;
+  RecoveryManager recovery{f.simulation, f.msp, blind, util::Rng{11}, config};
+  recovery.record_successful_run();
+  f.msp.brown_out();
+  EXPECT_EQ(recovery.attempt(), RecoveryOutcome::kDeferred);
+}
+
+TEST(Recovery, NtpResyncChargesModemEnergyAndDataCost) {
+  // Regression for the free-NTP bug: the fallback used to write the RTC
+  // without powering the modem, so a resync cost no energy and no data.
+  // Now it must land in the same ledgers a daily upload hits.
+  Fixture f;
+  hw::DgpsConfig no_fix;
+  no_fix.fix_probability = 0.0;
+  hw::DgpsReceiver blind{f.simulation, f.power, util::Rng{3}, no_fix};
+  hw::GprsModem gprs{f.simulation, f.power, util::Rng{5}, reliable_gprs()};
+  RecoveryConfig config;
+  config.ntp_fallback = true;
+  config.ntp_success = 1.0;
+  RecoveryManager recovery{f.simulation, f.msp, blind, util::Rng{11}, config};
+  recovery.attach_modem(&gprs);
+  recovery.record_successful_run();
+  f.power.start();
+  f.msp.brown_out();
+  ASSERT_EQ(recovery.attempt(), RecoveryOutcome::kResyncedByNtp);
+  // The modem is held powered for the session duration and cuts itself off;
+  // the power tick integrates the energy.
+  EXPECT_TRUE(gprs.powered());
+  f.simulation.run_until(f.simulation.now() + sim::minutes(10));
+  EXPECT_FALSE(gprs.powered());
+  EXPECT_GT(f.power.consumed_by("gprs").value(), 0.0);
+  EXPECT_GT(gprs.data_cost(), 0.0);
+  // Clock restored to within the session length of truth (registration +
+  // a short transfer), not exactly.
+  EXPECT_LE(std::abs(f.msp.rtc_error_ms()), 120'000);
 }
 
 TEST(Recovery, RetryLoopEventuallySucceeds) {

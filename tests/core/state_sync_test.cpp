@@ -72,6 +72,47 @@ TEST(SyncServer, ManualOverrideFloorsTheResult) {
   EXPECT_EQ(*server.override_for_client(), PowerState::kState3);
 }
 
+TEST(SyncServer, StaleReportExpiresInsteadOfPinningTheFleet) {
+  // Regression for the silent-station pinning bug: a station that browned
+  // out after reporting state 1 used to hold every other station at 1
+  // forever. Its report must age out of the min-rule.
+  SyncServer server;
+  const auto start = sim::at_midnight(2008, 10, 1);
+  server.report_state("base", PowerState::kState1, start);
+  server.report_state("reference", PowerState::kState3, start);
+  // Fresh: the min rule sees both.
+  EXPECT_EQ(*server.override_for_client(start), PowerState::kState1);
+  // The base goes silent (flat battery); the reference keeps reporting.
+  const auto later = start + server.max_report_age() + sim::days(2);
+  server.report_state("reference", PowerState::kState3, later);
+  EXPECT_EQ(*server.override_for_client(later), PowerState::kState3);
+  // The silent station's last word is still on record, just not binding.
+  EXPECT_EQ(*server.reported_state("base"), PowerState::kState1);
+  // When it comes back, its reports count again.
+  server.report_state("base", PowerState::kState2, later);
+  EXPECT_EQ(*server.override_for_client(later), PowerState::kState2);
+}
+
+TEST(SyncServer, AllReportsStaleMeansNothingToSay) {
+  SyncServer server;
+  const auto start = sim::at_midnight(2008, 10, 1);
+  server.report_state("base", PowerState::kState1, start);
+  const auto later = start + server.max_report_age() + sim::days(1);
+  EXPECT_FALSE(server.override_for_client(later).has_value());
+  // ...unless an operator override is standing: that never expires.
+  server.set_manual_override(PowerState::kState2);
+  EXPECT_EQ(*server.override_for_client(later), PowerState::kState2);
+}
+
+TEST(SyncServer, TimestampFreeCallersStayFresh) {
+  // Pre-expiry callers pass no timestamps; everything is reported and read
+  // at the epoch, so nothing ever ages out and behaviour is unchanged.
+  SyncServer server;
+  server.report_state("base", PowerState::kState1);
+  server.report_state("reference", PowerState::kState3);
+  EXPECT_EQ(*server.override_for_client(), PowerState::kState1);
+}
+
 TEST(SyncServer, EndToEndKeepsStationsInLockstep) {
   // Both stations apply the min rule, so dGPS schedules match even though
   // their batteries differ.

@@ -158,6 +158,92 @@ TEST(TransferManager, PriorityNeverPreemptsPartialProgress) {
   EXPECT_EQ(manager.queue()[1].name, "urgent");
 }
 
+TEST(TransferManager, BackoffSeparatesConsecutiveFailures) {
+  // Capped exponential backoff: the k-th consecutive failure waits
+  // min(base * 2^(k-1), cap) of window time before redialling.
+  Fixture f;
+  hw::GprsConfig dead_config;
+  dead_config.registration_success = 0.0;
+  hw::GprsModem dead{f.simulation, f.power, util::Rng{9}, dead_config};
+  dead.power_on();
+  TransferManagerConfig config;
+  config.max_session_retries = 5;
+  config.retry_backoff_base = sim::minutes(1);
+  config.retry_backoff_cap = sim::minutes(4);
+  TransferManager manager{config};
+  manager.enqueue("data", 10_KiB);
+  const auto report = manager.run_window(dead, sim::hours(2));
+  EXPECT_EQ(report.failed_sessions, 6);  // initial + 5 retries
+  // Backoffs after failures 1..5: 1 + 2 + 4 + 4 + 4 minutes (capped).
+  EXPECT_EQ(report.backoff_spent, sim::minutes(15));
+  EXPECT_EQ(report.elapsed,
+            dead.config().registration_time * 6 + sim::minutes(15));
+}
+
+TEST(TransferManager, BackoffNeverExceedsTheWindow) {
+  Fixture f;
+  hw::GprsConfig dead_config;
+  dead_config.registration_success = 0.0;
+  hw::GprsModem dead{f.simulation, f.power, util::Rng{9}, dead_config};
+  dead.power_on();
+  TransferManagerConfig config;
+  config.max_session_retries = 10;
+  config.retry_backoff_base = sim::minutes(8);
+  TransferManager manager{config};
+  manager.enqueue("data", 10_KiB);
+  const auto budget = sim::minutes(12);
+  const auto report = manager.run_window(dead, budget);
+  EXPECT_LE(report.elapsed, budget + dead.config().registration_time);
+  EXPECT_TRUE(report.window_exhausted);
+  EXPECT_EQ(manager.queued_files(), 1u);
+}
+
+TEST(TransferManager, SessionTimeoutCutsAWedgedSession) {
+  // Regression for the wedge path: a hung SCP used to eat hang_duration
+  // (24 h) and leave the 2-hour watchdog as the only backstop. With a
+  // session timeout the window survives three wedges and moves on.
+  Fixture f;
+  hw::GprsConfig wedge_config;
+  wedge_config.registration_success = 1.0;
+  wedge_config.hang_per_session = 1.0;
+  hw::GprsModem wedged{f.simulation, f.power, util::Rng{9}, wedge_config};
+  wedged.power_on();
+  TransferManagerConfig config;
+  config.session_timeout = sim::minutes(10);
+  TransferManager manager{config};
+  manager.enqueue("data", 10_KiB);
+  const auto report = manager.run_window(wedged, sim::hours(2));
+  EXPECT_EQ(report.sessions_timed_out, 3);  // initial + 2 retries
+  EXPECT_EQ(report.failed_sessions, 3);
+  const auto per_session =
+      wedged.config().registration_time + sim::minutes(10);
+  EXPECT_EQ(report.elapsed, per_session * 3);
+  EXPECT_LT(report.elapsed, sim::hours(1));  // not 3 x 24 h
+}
+
+TEST(TransferManager, AdmitPredicateFiltersLogOnlyUpload) {
+  // Degraded mode's "log-only upload": science files stay queued while the
+  // logfile (and nothing else) goes out.
+  Fixture f;
+  f.modem.power_on();
+  TransferManager manager;
+  manager.enqueue("dgps_0", 165_KiB);
+  manager.enqueue("log_day12", 4_KiB);
+  manager.enqueue("dgps_1", 165_KiB);
+  const auto report = manager.run_window(
+      f.modem, sim::hours(2), sim::kEpoch,
+      [](const UploadFile& file) { return file.name.rfind("log_", 0) == 0; });
+  EXPECT_EQ(report.files_completed, 1);
+  EXPECT_EQ(manager.queued_files(), 2u);
+  for (const auto& file : manager.queue()) {
+    EXPECT_EQ(file.name.rfind("dgps_", 0), 0u);
+  }
+  // Without a predicate the same queue drains front-first as before.
+  const auto rest = manager.run_window(f.modem, sim::hours(2));
+  EXPECT_EQ(rest.files_completed, 2);
+  EXPECT_TRUE(manager.empty());
+}
+
 TEST(TransferManager, EmptyQueueNoWork) {
   Fixture f;
   f.modem.power_on();

@@ -186,5 +186,53 @@ TEST(StationFaults, GprsHangCountedAndSurvived) {
   EXPECT_EQ(station.stats().runs_aborted, station.watchdog().expiry_count());
 }
 
+TEST(StationFaults, ServerDownWindowDrivesDegradedModeAndRecovery) {
+  // A scripted server_down window starves uploads; after
+  // degrade_after_failed_days zero-progress days the station enters
+  // log-only degraded mode, and the first successful upload after the
+  // window exits it.
+  Fixture f;
+  auto config = f.reliable_base();
+  config.degrade_after_failed_days = 2;
+  auto& station = f.make(config);
+  fault::FaultPlan plan;
+  plan.add(fault::FaultWindow{fault::FaultKind::kServerDown, sim::days(0),
+                              sim::days(4), 1.0});
+  fault::FaultOracle oracle{plan, f.simulation.now()};
+  station.set_fault_oracle(&oracle);
+
+  f.run_days(3.0);
+  EXPECT_TRUE(station.degraded());
+  EXPECT_EQ(station.journal().count(obs::EventType::kDegradedEnter), 1u);
+  EXPECT_EQ(f.server.files_from("base"), 0);
+  EXPECT_GT(oracle.trips(fault::FaultKind::kServerDown), 0);
+
+  f.run_days(5.0);  // window over: uploads progress again
+  EXPECT_FALSE(station.degraded());
+  EXPECT_EQ(station.journal().count(obs::EventType::kDegradedExit), 1u);
+  EXPECT_GT(f.server.files_from("base"), 0);
+  EXPECT_GE(station.stats().degraded_days, 1);
+  EXPECT_TRUE(station.gprs().ledger_consistent());
+}
+
+TEST(StationFaults, GprsOutageWeekRecoversWithinRetryCadence) {
+  // The §I wet-summer scenario as a plan: a week of gprs_outage severity 1.
+  // Nothing leaves the glacier during the window; the first daily retry
+  // after it drains the backlog — recovery is bounded by the retry cadence.
+  Fixture f;
+  auto& station = f.make(f.reliable_base());
+  fault::FaultPlan plan;
+  plan.add(fault::FaultWindow{fault::FaultKind::kGprsOutage, sim::days(1),
+                              sim::days(7), 1.0});
+  fault::FaultOracle oracle{plan, f.simulation.now()};
+  station.set_fault_oracle(&oracle);
+  f.run_days(9.0);
+  const int received_at_window_end = f.server.files_from("base");
+  f.run_days(2.0);  // at most two daily retries after the window
+  EXPECT_GT(f.server.files_from("base"), received_at_window_end);
+  EXPECT_GT(oracle.trips(fault::FaultKind::kGprsOutage), 0);
+  EXPECT_TRUE(station.gprs().ledger_consistent());
+}
+
 }  // namespace
 }  // namespace gw::station
