@@ -9,9 +9,11 @@
 // window, a 12-day harvest blackout), and the ledgers are compared side by
 // side. Exports BENCH_fault_soak.json (schema glacsweb.bench.v1).
 #include <cstdio>
+#include <memory>
 #include <string>
 
 #include "bench_util.h"
+#include "runner/monte_carlo_runner.h"
 #include "station/deployment.h"
 #include "util/strings.h"
 
@@ -56,10 +58,18 @@ void run() {
   bench::note("fleet: base + reference + 7 probes, " +
               util::format_fixed(kDays, 0) + " days from 2008-06-01");
 
-  station::Deployment clean{soak_config("")};
-  clean.run_days(kDays);
-  station::Deployment faulted{soak_config(kSeasonSpec)};
-  faulted.run_days(kDays);
+  // The two seasons are independent worlds — run them as two parallel
+  // trials (Deployment is not movable, so each comes back behind a
+  // unique_ptr; trial 0 is clean, trial 1 scripted).
+  runner::MonteCarloRunner pool{bench::thread_count()};
+  auto seasons = pool.run(2, [](std::size_t trial) {
+    auto deployment = std::make_unique<station::Deployment>(
+        soak_config(trial == 0 ? "" : kSeasonSpec));
+    deployment->run_days(kDays);
+    return deployment;
+  });
+  station::Deployment& clean = *seasons[0];
+  station::Deployment& faulted = *seasons[1];
 
   bench::subheading("1. season outcomes, same seed, same weather");
   compare_row("", "clean", "scripted");

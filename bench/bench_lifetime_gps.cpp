@@ -7,9 +7,11 @@
 // only, as the paper's simplification states) and the depletion day is
 // reported, plus a sweep over intermediate duty cycles.
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.h"
 #include "power/battery.h"
+#include "runner/monte_carlo_runner.h"
 #include "util/strings.h"
 
 namespace gw {
@@ -33,14 +35,31 @@ double depletion_days(double on_hours_per_day) {
   return days;
 }
 
+constexpr int kSweepPerDay[] = {1, 2, 4, 6, 12, 24, 48, 96};
+
 void run() {
   bench::heading("Sec III: dGPS-only battery lifetime (36 Ah bank)");
 
-  const double continuous = depletion_days(24.0);
+  // Every depletion run is independent, so the named policies and the
+  // duty-cycle sweep fan out across the MonteCarloRunner pool; results come
+  // back indexed by job, identical at any thread count.
+  const double kHoursPerReading = 308.0 / 3600.0;
+  std::vector<double> on_hours_jobs = {24.0,  // continuous sampling
+                                       12.0 * kHoursPerReading,  // state 3
+                                       1.0 * kHoursPerReading};  // state 2
+  for (const int per_day : kSweepPerDay) {
+    on_hours_jobs.push_back(per_day * kHoursPerReading);
+  }
+  runner::MonteCarloRunner pool{bench::thread_count()};
+  const std::vector<double> days_to_empty = pool.run(
+      on_hours_jobs.size(),
+      [&](std::size_t job) { return depletion_days(on_hours_jobs[job]); });
+
+  const double continuous = days_to_empty[0];
   // State 3: 12 readings x 308 s.
-  const double state3 = depletion_days(12.0 * 308.0 / 3600.0);
+  const double state3 = days_to_empty[1];
   // State 2: 1 reading/day.
-  const double state2 = depletion_days(1.0 * 308.0 / 3600.0);
+  const double state2 = days_to_empty[2];
 
   bench::paper_vs_measured("continuous sampling depletes in", "5 days",
                            util::format_fixed(continuous, 1) + " days");
@@ -54,10 +73,10 @@ void run() {
 
   bench::subheading("Duty-cycle sweep (readings/day -> days to empty)");
   bench::row({"Readings/day", "On h/day", "Days to empty"}, {13, 9, 14});
-  for (const int per_day : {1, 2, 4, 6, 12, 24, 48, 96}) {
-    const double on_hours = per_day * 308.0 / 3600.0;
-    bench::row({std::to_string(per_day), util::format_fixed(on_hours, 2),
-                util::format_fixed(depletion_days(on_hours), 0)},
+  for (std::size_t i = 0; i < std::size(kSweepPerDay); ++i) {
+    bench::row({std::to_string(kSweepPerDay[i]),
+                util::format_fixed(on_hours_jobs[3 + i], 2),
+                util::format_fixed(days_to_empty[3 + i], 0)},
                {13, 9, 14});
   }
   bench::note("Continuous-equivalent (24 h/day): " +

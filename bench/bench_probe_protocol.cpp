@@ -16,6 +16,7 @@
 
 #include "bench_util.h"
 #include "proto/bulk_transfer.h"
+#include "runner/monte_carlo_runner.h"
 #include "station/wired_probe.h"
 #include "util/strings.h"
 
@@ -169,11 +170,17 @@ void wired_vs_radio() {
   // One season, many trials: expected data yield of a wired probe (perfect
   // link, exponential cable death, data stranded afterwards) vs a radio
   // probe (seasonal loss, task-completion semantics, probe wear-out).
+  // Each trial is an isolated world, so the sweep fans out across the
+  // MonteCarloRunner pool; trial-order aggregation keeps the printed means
+  // identical at any thread count.
   constexpr int kTrials = 100;
-  double wired_delivered = 0.0;
-  double wired_stranded = 0.0;
-  int cables_dead = 0;
-  for (int trial = 0; trial < kTrials; ++trial) {
+  struct WiredOutcome {
+    std::size_t delivered = 0;
+    std::size_t stranded = 0;
+    bool cable_dead = false;
+  };
+  runner::MonteCarloRunner pool{bench::thread_count()};
+  const auto outcomes = pool.run(kTrials, [](std::size_t trial) {
     sim::Simulation simulation{sim::at_midnight(2008, 9, 1)};
     env::Environment environment{std::uint64_t(trial) + 50};
     station::WiredProbeConfig config;
@@ -181,12 +188,22 @@ void wired_vs_radio() {
     station::WiredProbe probe{simulation, environment,
                               util::Rng{std::uint64_t(trial) * 3 + 1},
                               config};
+    WiredOutcome outcome;
     for (int day = 0; day < 365; ++day) {
       simulation.run_until(simulation.now() + sim::days(1));
-      wired_delivered += double(probe.drain().size());
+      outcome.delivered += probe.drain().size();
     }
-    wired_stranded += double(probe.stranded());
-    if (!probe.cable_ok()) ++cables_dead;
+    outcome.stranded = probe.stranded();
+    outcome.cable_dead = !probe.cable_ok();
+    return outcome;
+  });
+  double wired_delivered = 0.0;
+  double wired_stranded = 0.0;
+  int cables_dead = 0;
+  for (const WiredOutcome& outcome : outcomes) {
+    wired_delivered += double(outcome.delivered);
+    wired_stranded += double(outcome.stranded);
+    if (outcome.cable_dead) ++cables_dead;
   }
   std::printf(
       "  wired: %.0f readings/yr delivered (mean), %.0f stranded behind "

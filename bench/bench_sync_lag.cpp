@@ -13,6 +13,7 @@
 // offset. Reported: how long after the base station's transition the
 // reference station follows (same-day ≈ minutes-hours; otherwise ~a day).
 #include <cstdio>
+#include <functional>
 
 #include "bench_util.h"
 #include "station/deployment.h"

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -14,6 +15,17 @@
 #include "util/strings.h"
 
 namespace gw::bench {
+
+// Thread count for MonteCarloRunner-driven benches: GW_BENCH_THREADS pins
+// it (useful for scaling curves and the determinism tests); unset or 0
+// means hardware concurrency. Results are byte-identical either way — the
+// knob only changes wall-clock.
+inline unsigned thread_count() {
+  if (const char* env = std::getenv("GW_BENCH_THREADS")) {
+    return static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+  }
+  return 0;
+}
 
 inline void heading(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());

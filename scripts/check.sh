@@ -8,9 +8,19 @@
 #      every relative file link must resolve, every intra-doc #anchor must
 #      match a heading in the target file (needs python3, also gated);
 #   3. sanitizer leg: with GW_CHECK_SANITIZE=1 in the environment, builds
-#      system_test in a separate build-asan/ dir with -DGW_SANITIZE=ON
+#      system_test in a separate build-asan/ dir with -DGW_SANITIZE=address
 #      (ASan+UBSan) and runs the fault soak under it. Off by default —
-#      it is a full extra build — and gated on cmake being available.
+#      it is a full extra build — and gated on cmake being available;
+#   4. thread-sanitizer leg: with GW_CHECK_TSAN=1, builds runner_test in a
+#      separate build-tsan/ dir with -DGW_SANITIZE=thread and runs the
+#      Monte Carlo runner tests (pool handoff + determinism) under TSan.
+#      Off by default for the same reason as the ASan leg;
+#   5. performance bench export: when build/bench/bench_throughput and
+#      build/bench/bench_microbench exist (i.e. the default build has run),
+#      runs them and leaves machine-readable results in the repo root as
+#      BENCH_throughput.json (schema glacsweb.bench.v1) and
+#      BENCH_microbench_raw.json (google-benchmark JSON). Skipped when the
+#      binaries are absent; disable explicitly with GW_CHECK_BENCH=0.
 #
 # Exits non-zero on any real failure; missing tools skip their check.
 set -u
@@ -95,7 +105,7 @@ fi
 if [ "${GW_CHECK_SANITIZE:-0}" = "1" ]; then
   if command -v cmake >/dev/null 2>&1; then
     echo "== ASan+UBSan fault soak (build-asan/)"
-    if cmake -B build-asan -S . -DGW_SANITIZE=ON >/dev/null &&
+    if cmake -B build-asan -S . -DGW_SANITIZE=address >/dev/null &&
        cmake --build build-asan --target system_test -j >/dev/null &&
        ./build-asan/tests/system_test --gtest_filter='FaultSoak.*'; then
       echo "ok: fault soak clean under ASan+UBSan"
@@ -108,6 +118,45 @@ if [ "${GW_CHECK_SANITIZE:-0}" = "1" ]; then
   fi
 else
   echo "skip: sanitizer soak (set GW_CHECK_SANITIZE=1 to enable)"
+fi
+
+# --- 4. TSan runner leg (opt-in: GW_CHECK_TSAN=1) -------------------------
+if [ "${GW_CHECK_TSAN:-0}" = "1" ]; then
+  if command -v cmake >/dev/null 2>&1; then
+    echo "== TSan Monte Carlo runner tests (build-tsan/)"
+    if cmake -B build-tsan -S . -DGW_SANITIZE=thread >/dev/null &&
+       cmake --build build-tsan --target runner_test -j >/dev/null &&
+       ./build-tsan/tests/runner_test; then
+      echo "ok: runner pool + determinism tests clean under TSan"
+    else
+      echo "FAIL: TSan runner tests"
+      failures=$((failures + 1))
+    fi
+  else
+    echo "skip: cmake not installed"
+  fi
+else
+  echo "skip: TSan runner tests (set GW_CHECK_TSAN=1 to enable)"
+fi
+
+# --- 5. performance bench export ------------------------------------------
+if [ "${GW_CHECK_BENCH:-1}" = "1" ]; then
+  if [ -x build/bench/bench_throughput ] &&
+     [ -x build/bench/bench_microbench ]; then
+    echo "== throughput + microbench export (BENCH_*.json in repo root)"
+    if ./build/bench/bench_throughput >/dev/null &&
+       ./build/bench/bench_microbench \
+         --benchmark_format=json >BENCH_microbench_raw.json; then
+      echo "ok: wrote BENCH_throughput.json and BENCH_microbench_raw.json"
+    else
+      echo "FAIL: bench export"
+      failures=$((failures + 1))
+    fi
+  else
+    echo "skip: bench binaries not built (build the default tree first)"
+  fi
+else
+  echo "skip: bench export (GW_CHECK_BENCH=0)"
 fi
 
 if [ "$failures" -ne 0 ]; then

@@ -17,16 +17,36 @@ double declination_deg(int doy) {
 }  // namespace
 
 SolarModel::SolarModel(SolarConfig config, util::Rng rng)
-    : config_(config), rng_(rng), cloud_state_(config.cloud_mean) {}
+    : config_(config), rng_(rng), cloud_state_(config.cloud_mean) {
+  lat_rad_ = config_.latitude_deg * kDegToRad;
+  sin_lat_ = std::sin(lat_rad_);
+  cos_lat_ = std::cos(lat_rad_);
+}
+
+const SolarModel::DayGeometry& SolarModel::geometry_for(int doy) const {
+  if (doy != cached_doy_) {
+    const double decl = declination_deg(doy) * kDegToRad;
+    cached_.sin_decl = std::sin(decl);
+    cached_.cos_decl = std::cos(decl);
+    const double cos_h0 = -std::tan(lat_rad_) * std::tan(decl);
+    if (cos_h0 <= -1.0) {
+      cached_.daylight_hours = 24.0;  // midnight sun
+    } else if (cos_h0 >= 1.0) {
+      cached_.daylight_hours = 0.0;  // polar night
+    } else {
+      cached_.daylight_hours = 2.0 * std::acos(cos_h0) / (15.0 * kDegToRad);
+    }
+    cached_doy_ = doy;
+  }
+  return cached_;
+}
 
 double SolarModel::sin_elevation(sim::SimTime t) const {
-  const int doy = sim::day_of_year(t);
-  const double decl = declination_deg(doy) * kDegToRad;
-  const double lat = config_.latitude_deg * kDegToRad;
+  const DayGeometry& day = geometry_for(sim::day_of_year(t));
   const double hour = sim::time_of_day(t).to_hours();
   const double hour_angle = (hour - 12.0) * 15.0 * kDegToRad;
-  return std::sin(lat) * std::sin(decl) +
-         std::cos(lat) * std::cos(decl) * std::cos(hour_angle);
+  return sin_lat_ * day.sin_decl +
+         cos_lat_ * day.cos_decl * std::cos(hour_angle);
 }
 
 util::WattsPerSquareMetre SolarModel::irradiance(sim::SimTime t) {
@@ -40,13 +60,7 @@ util::WattsPerSquareMetre SolarModel::irradiance(sim::SimTime t) {
 }
 
 double SolarModel::daylight_hours(sim::SimTime t) const {
-  const int doy = sim::day_of_year(t);
-  const double decl = declination_deg(doy) * kDegToRad;
-  const double lat = config_.latitude_deg * kDegToRad;
-  const double cos_h0 = -std::tan(lat) * std::tan(decl);
-  if (cos_h0 <= -1.0) return 24.0;  // midnight sun
-  if (cos_h0 >= 1.0) return 0.0;    // polar night
-  return 2.0 * std::acos(cos_h0) / (15.0 * kDegToRad);
+  return geometry_for(sim::day_of_year(t)).daylight_hours;
 }
 
 double SolarModel::cloud_factor(sim::SimTime t) {

@@ -38,10 +38,30 @@ class SolarModel {
   [[nodiscard]] const SolarConfig& config() const { return config_; }
 
  private:
+  // Memoized per-day geometry: declination and daylight length depend only
+  // on (latitude, day of year), yet the charger integrates irradiance every
+  // simulated minute — recomputing sin/cos/tan of the declination per call
+  // was pure waste. A single-entry cache fits the access pattern (simulated
+  // time moves through one day at a time) and costs nothing to construct —
+  // trials that never read the sun pay nothing. The cached factors are
+  // computed with exactly the expressions the per-call formulas used, so
+  // results are bit-identical.
+  struct DayGeometry {
+    double sin_decl = 0.0;
+    double cos_decl = 0.0;
+    double daylight_hours = 0.0;
+  };
+
+  const DayGeometry& geometry_for(int doy) const;
   double cloud_factor(sim::SimTime t);
 
   SolarConfig config_;
   util::Rng rng_;
+  double sin_lat_ = 0.0;
+  double cos_lat_ = 0.0;
+  double lat_rad_ = 0.0;
+  mutable int cached_doy_ = -1;
+  mutable DayGeometry cached_;
   // AR(1) cloud state, refreshed once per simulated day.
   std::int64_t cloud_day_ = -1;
   double cloud_state_ = 0.0;

@@ -1,0 +1,66 @@
+#include "runner/monte_carlo_runner.h"
+
+#include <algorithm>
+#include <cstdint>
+
+namespace gw::runner {
+
+MonteCarloRunner::MonteCarloRunner(unsigned threads) {
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+MonteCarloRunner::~MonteCarloRunner() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void MonteCarloRunner::dispatch(std::size_t trials,
+                                std::function<void(std::size_t)> task) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  task_ = std::move(task);
+  trials_ = trials;
+  next_trial_.store(0, std::memory_order_relaxed);
+  completed_.store(0, std::memory_order_relaxed);
+  ++epoch_;
+  work_ready_.notify_all();
+  job_done_.wait(lock, [this] {
+    return completed_.load(std::memory_order_acquire) == trials_;
+  });
+  task_ = nullptr;
+}
+
+void MonteCarloRunner::worker_loop() {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock,
+                       [&] { return stop_ || epoch_ != seen_epoch; });
+      if (stop_) return;
+      seen_epoch = epoch_;
+    }
+    const std::size_t trials = trials_;
+    for (;;) {
+      const std::size_t trial =
+          next_trial_.fetch_add(1, std::memory_order_relaxed);
+      if (trial >= trials) break;
+      task_(trial);
+      if (completed_.fetch_add(1, std::memory_order_acq_rel) + 1 == trials) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        job_done_.notify_all();
+      }
+    }
+  }
+}
+
+}  // namespace gw::runner

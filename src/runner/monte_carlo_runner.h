@@ -1,0 +1,99 @@
+// Parallel Monte Carlo trial execution with deterministic aggregation.
+//
+// Every headline number in bench/ is an average over independent trials —
+// 2000 probe-survival worlds, yield sweeps, fault soaks — and each trial
+// builds a fully isolated world (its own sim::Simulation, env::Environment,
+// forked util::Rng stream, obs sinks) from nothing but its trial index.
+// That makes trials embarrassingly parallel *and* lets parallelism stay
+// invisible in the output: results land in a vector indexed by trial, so
+// aggregation order — and therefore every exported byte — is identical at
+// 1, 2, or N threads (pinned by runner determinism tests).
+//
+// Usage contract (docs/PERFORMANCE.md):
+//   * the trial callable must derive all randomness from the trial index
+//     (fork a fresh util::Rng per trial; never share mutable state);
+//   * anything captured by reference must be immutable for the duration of
+//     run() — configs are fine, accumulators are not;
+//   * aggregate over the returned vector on the caller's thread.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace gw::runner {
+
+class MonteCarloRunner {
+ public:
+  // threads == 0 picks the hardware concurrency (at least 1). The pool is
+  // fixed-size and reused across run() calls.
+  explicit MonteCarloRunner(unsigned threads = 0);
+  ~MonteCarloRunner();
+
+  MonteCarloRunner(const MonteCarloRunner&) = delete;
+  MonteCarloRunner& operator=(const MonteCarloRunner&) = delete;
+
+  [[nodiscard]] unsigned threads() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  // Evaluates fn(trial) for every trial in [0, trials) across the pool and
+  // returns the results in trial order. Workers claim indices from a shared
+  // queue, so the wall-clock schedule is nondeterministic — the output is
+  // not. If any trial throws, the exception from the lowest-numbered
+  // throwing trial is rethrown after all trials finish (a deterministic
+  // choice; "first to fail on the clock" would race).
+  template <typename Fn>
+  auto run(std::size_t trials, Fn&& fn)
+      -> std::vector<std::invoke_result_t<Fn&, std::size_t>> {
+    using Result = std::invoke_result_t<Fn&, std::size_t>;
+    static_assert(!std::is_void_v<Result>,
+                  "trial callables must return their per-trial result");
+    std::vector<std::optional<Result>> slots(trials);
+    std::vector<std::exception_ptr> errors(trials);
+    if (trials != 0) {
+      dispatch(trials, [&](std::size_t trial) {
+        try {
+          slots[trial].emplace(fn(trial));
+        } catch (...) {
+          errors[trial] = std::current_exception();
+        }
+      });
+    }
+    for (std::size_t trial = 0; trial < trials; ++trial) {
+      if (errors[trial]) std::rethrow_exception(errors[trial]);
+    }
+    std::vector<Result> results;
+    results.reserve(trials);
+    for (std::size_t trial = 0; trial < trials; ++trial) {
+      results.push_back(std::move(*slots[trial]));
+    }
+    return results;
+  }
+
+ private:
+  // Publishes one job to the pool and blocks until every index is done.
+  void dispatch(std::size_t trials, std::function<void(std::size_t)> task);
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable job_done_;
+  std::function<void(std::size_t)> task_;  // non-null while a job is live
+  std::size_t trials_ = 0;
+  std::atomic<std::size_t> next_trial_{0};
+  std::atomic<std::size_t> completed_{0};
+  std::uint64_t epoch_ = 0;  // bumped per job so workers never re-enter one
+  bool stop_ = false;
+};
+
+}  // namespace gw::runner

@@ -1,0 +1,170 @@
+// Small-buffer-optimized callback for the event kernel.
+//
+// Every event the kernel schedules used to carry a std::function<void()>,
+// which heap-allocates for any capture larger than its (implementation-
+// defined, typically 16-byte) inline buffer and again on every copy out of
+// the priority queue. InlineCallback stores callables up to 48 bytes in
+// place — every lambda in this repository fits ([this] plus a few captured
+// scalars) — and falls back to the heap only for oversized or throwing-move
+// captures. It is move-only: the kernel moves events, never copies them.
+//
+// Contract (documented in docs/PERFORMANCE.md):
+//   * any `void()` callable is accepted; copyable is not required;
+//   * inline storage requires sizeof(F) <= kInlineSize, alignof(F) <=
+//     alignof(std::max_align_t), and a noexcept move constructor (the slot
+//     slab relocates callbacks when it grows);
+//   * moves are noexcept; a moved-from callback is empty and must not be
+//     invoked;
+//   * invoking an empty callback is undefined (the kernel never does).
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace gw::sim {
+
+class InlineCallback {
+ public:
+  // 48 bytes holds a capture of `this` plus five 8-byte values — larger
+  // than any event lambda in src/ — while keeping a heap-slot entry
+  // (callback + bookkeeping) within a single cache line pair.
+  static constexpr std::size_t kInlineSize = 48;
+
+  InlineCallback() = default;
+
+  template <typename F, typename D = std::decay_t<F>>
+    requires(!std::is_same_v<D, InlineCallback> &&
+             std::is_invocable_r_v<void, D&>)
+  InlineCallback(F&& fn) {  // NOLINT(google-explicit-constructor)
+    if constexpr (fits_inline<D>) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(fn));
+      vtable_ = &kInlineVTable<D>;
+    } else {
+      ::new (static_cast<void*>(storage_)) D*(new D(std::forward<F>(fn)));
+      vtable_ = &kHeapVTable<D>;
+    }
+  }
+
+  InlineCallback(InlineCallback&& other) noexcept : vtable_(other.vtable_) {
+    if (vtable_ != nullptr) {
+      vtable_->relocate(other.storage_, storage_);
+      other.vtable_ = nullptr;
+    }
+  }
+
+  InlineCallback& operator=(InlineCallback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      vtable_ = other.vtable_;
+      if (vtable_ != nullptr) {
+        vtable_->relocate(other.storage_, storage_);
+        other.vtable_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  InlineCallback(const InlineCallback&) = delete;
+  InlineCallback& operator=(const InlineCallback&) = delete;
+
+  ~InlineCallback() { reset(); }
+
+  // In-place (re)binding without the extra relocate a construct-then-move
+  // would cost — the kernel's schedule path builds the callable directly in
+  // its slot.
+  template <typename F, typename D = std::decay_t<F>>
+    requires(!std::is_same_v<D, InlineCallback> &&
+             std::is_invocable_r_v<void, D&>)
+  void emplace(F&& fn) {
+    reset();
+    if constexpr (fits_inline<D>) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(fn));
+      vtable_ = &kInlineVTable<D>;
+    } else {
+      ::new (static_cast<void*>(storage_)) D*(new D(std::forward<F>(fn)));
+      vtable_ = &kHeapVTable<D>;
+    }
+  }
+
+  void emplace(InlineCallback&& other) { *this = std::move(other); }
+
+  void operator()() { vtable_->invoke(storage_); }
+
+  // Fused invoke-then-destroy for the kernel's pop path: one virtual
+  // dispatch instead of two, leaving this callback empty. If the callable
+  // throws, its capture is leaked (never double-destroyed); kernel state
+  // stays consistent.
+  void invoke_and_reset() {
+    const VTable* vtable = vtable_;
+    vtable_ = nullptr;
+    vtable->invoke_destroy(storage_);
+  }
+
+  [[nodiscard]] explicit operator bool() const { return vtable_ != nullptr; }
+
+  // True when the callable lives in the inline buffer (exposed for tests
+  // pinning the no-allocation property).
+  [[nodiscard]] bool is_inline() const {
+    return vtable_ != nullptr && vtable_->inline_storage;
+  }
+
+  void reset() {
+    if (vtable_ != nullptr) {
+      vtable_->destroy(storage_);
+      vtable_ = nullptr;
+    }
+  }
+
+ private:
+  struct VTable {
+    void (*invoke)(void*);
+    void (*invoke_destroy)(void*);
+    // Move-construct into `dst` from `src`, then tear down `src`.
+    void (*relocate)(void* src, void* dst) noexcept;
+    void (*destroy)(void*);
+    bool inline_storage;
+  };
+
+  template <typename D>
+  static constexpr bool fits_inline =
+      sizeof(D) <= kInlineSize &&
+      alignof(D) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<D>;
+
+  template <typename D>
+  static constexpr VTable kInlineVTable{
+      [](void* s) { (*std::launder(static_cast<D*>(s)))(); },
+      [](void* s) {
+        D* fn = std::launder(static_cast<D*>(s));
+        (*fn)();
+        fn->~D();
+      },
+      [](void* src, void* dst) noexcept {
+        D* from = std::launder(static_cast<D*>(src));
+        ::new (dst) D(std::move(*from));
+        from->~D();
+      },
+      [](void* s) { std::launder(static_cast<D*>(s))->~D(); },
+      true};
+
+  template <typename D>
+  static constexpr VTable kHeapVTable{
+      [](void* s) { (**std::launder(static_cast<D**>(s)))(); },
+      [](void* s) {
+        D* fn = *std::launder(static_cast<D**>(s));
+        (*fn)();
+        delete fn;
+      },
+      [](void* src, void* dst) noexcept {
+        ::new (dst) D*(*std::launder(static_cast<D**>(src)));
+      },
+      [](void* s) { delete *std::launder(static_cast<D**>(s)); },
+      false};
+
+  alignas(std::max_align_t) std::byte storage_[kInlineSize];
+  const VTable* vtable_ = nullptr;
+};
+
+}  // namespace gw::sim

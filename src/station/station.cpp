@@ -1,6 +1,7 @@
 #include "station/station.h"
 
 #include <algorithm>
+#include <functional>
 
 #include "util/strings.h"
 
@@ -79,6 +80,9 @@ Station::Station(sim::Simulation& simulation, env::Environment& environment,
 }
 
 void Station::set_fault_oracle(fault::FaultOracle* oracle) {
+  // The shared server carries the server_down windows; a standalone station
+  // (the fault tests) must attach it here, not only via Deployment.
+  server_.set_fault_oracle(oracle);
   gprs_.set_fault_oracle(oracle);
   dgps_.set_fault_oracle(oracle);
   cf_.set_fault_oracle(oracle, oracle != nullptr ? &simulation_ : nullptr);

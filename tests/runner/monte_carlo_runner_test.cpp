@@ -1,0 +1,106 @@
+#include "runner/monte_carlo_runner.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace gw::runner {
+namespace {
+
+TEST(MonteCarloRunner, ResultsArriveInTrialOrder) {
+  MonteCarloRunner pool{4};
+  const auto results =
+      pool.run(100, [](std::size_t trial) { return trial * trial; });
+  ASSERT_EQ(results.size(), 100u);
+  for (std::size_t trial = 0; trial < results.size(); ++trial) {
+    EXPECT_EQ(results[trial], trial * trial);
+  }
+}
+
+TEST(MonteCarloRunner, ZeroTrialsReturnsEmpty) {
+  MonteCarloRunner pool{2};
+  const auto results = pool.run(0, [](std::size_t) { return 1; });
+  EXPECT_TRUE(results.empty());
+}
+
+TEST(MonteCarloRunner, DefaultThreadCountIsAtLeastOne) {
+  MonteCarloRunner pool{0};
+  EXPECT_GE(pool.threads(), 1u);
+}
+
+TEST(MonteCarloRunner, EveryTrialRunsExactlyOnce) {
+  MonteCarloRunner pool{8};
+  std::vector<std::atomic<int>> hits(500);
+  pool.run(500, [&](std::size_t trial) {
+    hits[trial].fetch_add(1, std::memory_order_relaxed);
+    return 0;
+  });
+  for (const auto& count : hits) EXPECT_EQ(count.load(), 1);
+}
+
+TEST(MonteCarloRunner, PoolIsReusableAcrossRuns) {
+  MonteCarloRunner pool{3};
+  long total = 0;
+  for (int repeat = 0; repeat < 5; ++repeat) {
+    const auto results =
+        pool.run(50, [](std::size_t trial) { return long(trial); });
+    total += std::accumulate(results.begin(), results.end(), 0L);
+  }
+  EXPECT_EQ(total, 5 * (49 * 50 / 2));
+}
+
+TEST(MonteCarloRunner, MoveOnlyResultsAreSupported) {
+  MonteCarloRunner pool{4};
+  const auto results = pool.run(
+      20, [](std::size_t trial) { return std::make_unique<int>(int(trial)); });
+  ASSERT_EQ(results.size(), 20u);
+  for (std::size_t trial = 0; trial < results.size(); ++trial) {
+    EXPECT_EQ(*results[trial], int(trial));
+  }
+}
+
+TEST(MonteCarloRunner, LowestThrowingTrialWinsDeterministically) {
+  MonteCarloRunner pool{8};
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    try {
+      pool.run(64, [](std::size_t trial) -> int {
+        if (trial % 7 == 3) {  // trials 3, 10, 17, ... all throw
+          throw std::runtime_error("trial " + std::to_string(trial));
+        }
+        return 0;
+      });
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& error) {
+      EXPECT_STREQ(error.what(), "trial 3");
+    }
+  }
+}
+
+TEST(MonteCarloRunner, RemainingTrialsStillRunAfterAFailure) {
+  MonteCarloRunner pool{4};
+  std::atomic<int> ran{0};
+  try {
+    pool.run(40, [&](std::size_t trial) -> int {
+      ran.fetch_add(1, std::memory_order_relaxed);
+      if (trial == 0) throw std::runtime_error("boom");
+      return 0;
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_EQ(ran.load(), 40);
+}
+
+TEST(MonteCarloRunner, MoreThreadsThanTrials) {
+  MonteCarloRunner pool{16};
+  const auto results = pool.run(3, [](std::size_t trial) { return trial; });
+  EXPECT_EQ(results, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+}  // namespace
+}  // namespace gw::runner

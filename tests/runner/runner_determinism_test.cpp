@@ -1,0 +1,89 @@
+// Pins the runner's headline guarantee: exports are byte-identical at any
+// thread count. A miniature Monte Carlo experiment (isolated probe-survival
+// worlds, named util::Rng forks per trial) is aggregated in trial order
+// into a glacsweb.bench.v1 report, and the rendered JSON must match byte
+// for byte across thread counts — parallelism must be invisible in every
+// exported byte.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "env/environment.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "runner/monte_carlo_runner.h"
+#include "sim/simulation.h"
+#include "station/probe_node.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace gw::runner {
+namespace {
+
+struct TrialResult {
+  int alive_at_1y = 0;
+  std::uint64_t events = 0;
+};
+
+TrialResult survival_trial(std::size_t trial) {
+  const sim::SimTime deployed = sim::at_midnight(2008, 9, 1);
+  sim::Simulation simulation{deployed};
+  env::Environment environment{7};
+  const util::Rng trial_rng =
+      util::Rng{2008}.fork("determinism-trial-" + std::to_string(trial));
+  std::vector<std::unique_ptr<station::ProbeNode>> probes;
+  for (int i = 0; i < 3; ++i) {
+    station::ProbeNodeConfig config;
+    config.probe_id = 20 + i;
+    config.sample_interval = sim::days(30);
+    probes.push_back(std::make_unique<station::ProbeNode>(
+        simulation, environment,
+        trial_rng.fork("probe-" + std::to_string(config.probe_id)), config));
+  }
+  simulation.run_until(deployed + sim::days(365));
+  TrialResult result;
+  for (const auto& probe : probes) {
+    if (probe->alive()) ++result.alive_at_1y;
+  }
+  result.events = simulation.events_executed();
+  return result;
+}
+
+std::string export_with_threads(unsigned threads) {
+  MonteCarloRunner pool{threads};
+  const std::vector<TrialResult> results = pool.run(40, survival_trial);
+
+  obs::MetricsRegistry metrics;
+  double alive_sum = 0.0;
+  std::uint64_t event_sum = 0;
+  for (std::size_t trial = 0; trial < results.size(); ++trial) {
+    alive_sum += results[trial].alive_at_1y;
+    event_sum += results[trial].events;
+    metrics.gauge("trials", "alive_1y_trial_" + std::to_string(trial))
+        .set(double(results[trial].alive_at_1y));
+  }
+  metrics.gauge("summary", "mean_alive_1y").set(alive_sum / 40.0);
+  metrics.gauge("summary", "total_events").set(double(event_sum));
+
+  obs::BenchReport report;
+  report.bench = "runner_determinism";
+  report.meta = {{"trials", "40"}, {"probes", "3"}};
+  report.sections = {{"survival", &metrics, nullptr}};
+  return obs::to_json(report);
+}
+
+TEST(RunnerDeterminism, ExportsAreByteIdenticalAcrossThreadCounts) {
+  const std::string serial = export_with_threads(1);
+  ASSERT_FALSE(serial.empty());
+  EXPECT_EQ(export_with_threads(2), serial);
+  EXPECT_EQ(export_with_threads(8), serial);
+}
+
+TEST(RunnerDeterminism, RepeatRunsAreByteIdentical) {
+  EXPECT_EQ(export_with_threads(2), export_with_threads(2));
+}
+
+}  // namespace
+}  // namespace gw::runner

@@ -1,0 +1,122 @@
+#include "sim/inline_callback.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+namespace gw::sim {
+namespace {
+
+TEST(InlineCallback, SmallCaptureStaysInline) {
+  int hits = 0;
+  InlineCallback cb{[&hits] { ++hits; }};
+  EXPECT_TRUE(cb.is_inline());
+  cb();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(InlineCallback, CaptureAtSizeLimitStaysInline) {
+  struct Fat {
+    std::byte bytes[InlineCallback::kInlineSize - sizeof(int*)] = {};
+    int* counter;
+    void operator()() { ++*counter; }
+  };
+  static_assert(sizeof(Fat) == InlineCallback::kInlineSize);
+  int hits = 0;
+  InlineCallback cb{Fat{{}, &hits}};
+  EXPECT_TRUE(cb.is_inline());
+  cb();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(InlineCallback, OversizedCaptureFallsBackToHeap) {
+  struct Huge {
+    std::byte bytes[InlineCallback::kInlineSize + 1] = {};
+    int* counter = nullptr;
+    void operator()() { ++*counter; }
+  };
+  int hits = 0;
+  Huge huge;
+  huge.counter = &hits;
+  InlineCallback cb{huge};
+  EXPECT_FALSE(cb.is_inline());
+  cb();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(InlineCallback, MoveOnlyCallable) {
+  auto ptr = std::make_unique<int>(41);
+  InlineCallback cb{[p = std::move(ptr)] { ++*p; }};
+  EXPECT_TRUE(static_cast<bool>(cb));
+  cb();  // no observable side effect needed; must not crash or copy
+}
+
+TEST(InlineCallback, MoveTransfersOwnershipAndEmptiesSource) {
+  int hits = 0;
+  InlineCallback a{[&hits] { ++hits; }};
+  InlineCallback b{std::move(a)};
+  EXPECT_FALSE(static_cast<bool>(a));
+  EXPECT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(InlineCallback, DestroysCaptureExactlyOnce) {
+  struct Probe {
+    int* destroyed;
+    explicit Probe(int* d) : destroyed(d) {}
+    Probe(Probe&& other) noexcept : destroyed(other.destroyed) {
+      other.destroyed = nullptr;
+    }
+    ~Probe() {
+      if (destroyed != nullptr) ++*destroyed;
+    }
+  };
+  int destroyed = 0;
+  {
+    InlineCallback cb{[probe = Probe{&destroyed}] { (void)probe; }};
+    InlineCallback moved{std::move(cb)};
+    EXPECT_EQ(destroyed, 0);  // relocation must not count as destruction
+  }
+  EXPECT_EQ(destroyed, 1);
+}
+
+TEST(InlineCallback, InvokeAndResetLeavesEmpty) {
+  int hits = 0;
+  InlineCallback cb{[&hits] { ++hits; }};
+  cb.invoke_and_reset();
+  EXPECT_EQ(hits, 1);
+  EXPECT_FALSE(static_cast<bool>(cb));
+}
+
+TEST(InlineCallback, EmplaceRebindsInPlace) {
+  int first = 0;
+  int second = 0;
+  InlineCallback cb{[&first] { ++first; }};
+  cb.emplace([&second] { ++second; });
+  cb();
+  EXPECT_EQ(first, 0);
+  EXPECT_EQ(second, 1);
+}
+
+TEST(InlineCallback, MoveAssignReleasesPreviousCapture) {
+  int destroyed = 0;
+  struct Probe {
+    int* destroyed;
+    explicit Probe(int* d) : destroyed(d) {}
+    Probe(Probe&& other) noexcept : destroyed(other.destroyed) {
+      other.destroyed = nullptr;
+    }
+    ~Probe() {
+      if (destroyed != nullptr) ++*destroyed;
+    }
+  };
+  InlineCallback cb{[probe = Probe{&destroyed}] { (void)probe; }};
+  cb = InlineCallback{[] {}};
+  EXPECT_EQ(destroyed, 1);
+}
+
+}  // namespace
+}  // namespace gw::sim

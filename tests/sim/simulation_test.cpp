@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <memory>
+#include <utility>
 #include <vector>
 
 namespace gw::sim {
@@ -109,6 +112,99 @@ TEST(Simulation, EventsExecutedCounter) {
   for (int i = 0; i < 5; ++i) simulation.schedule_at(SimTime{i}, [] {});
   simulation.run_all();
   EXPECT_EQ(simulation.events_executed(), 5u);
+}
+
+// Regression for the pre-tombstone cancel() id leak: cancelling unknown or
+// already-fired ids used to park them in a set forever, so pending() and
+// empty() drifted for the rest of the run.
+TEST(Simulation, PendingIsExactAfterSpuriousCancels) {
+  Simulation simulation;
+  const EventId fired = simulation.schedule_at(SimTime{1}, [] {});
+  simulation.run_all();
+  EXPECT_EQ(simulation.pending(), 0u);
+  EXPECT_TRUE(simulation.empty());
+
+  simulation.cancel(fired);             // already fired
+  simulation.cancel(EventId{12345});    // never issued
+  simulation.cancel(EventId{0});        // never issued
+  EXPECT_EQ(simulation.pending(), 0u);
+  EXPECT_TRUE(simulation.empty());
+
+  const EventId live = simulation.schedule_at(SimTime{10}, [] {});
+  EXPECT_EQ(simulation.pending(), 1u);
+  simulation.cancel(live);
+  simulation.cancel(live);  // double-cancel must not underflow the count
+  EXPECT_EQ(simulation.pending(), 0u);
+  EXPECT_TRUE(simulation.empty());
+  simulation.run_all();
+  EXPECT_EQ(simulation.events_executed(), 1u);
+}
+
+TEST(Simulation, MoveOnlyCallablesAreSchedulable) {
+  Simulation simulation;
+  int observed = 0;
+  auto payload = std::make_unique<int>(7);
+  simulation.schedule_at(
+      SimTime{5}, [p = std::move(payload), &observed] { observed = *p; });
+  simulation.run_all();
+  EXPECT_EQ(observed, 7);
+}
+
+// A handle from a previous tenancy of a recycled slot must not cancel the
+// new tenant (the generation check).
+TEST(Simulation, StaleIdFromRecycledSlotIsHarmless) {
+  Simulation simulation;
+  const EventId old_id = simulation.schedule_at(SimTime{1}, [] {});
+  simulation.run_all();  // slot freed back to the pool
+
+  bool fired = false;
+  simulation.schedule_at(SimTime{2}, [&] { fired = true; });  // reuses slot
+  simulation.cancel(old_id);  // stale generation: must be a no-op
+  simulation.run_all();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulation, CancelOwnEventFromItsCallbackIsNoOp) {
+  Simulation simulation;
+  EventId self{};
+  int fired = 0;
+  self = simulation.schedule_at(SimTime{1}, [&] {
+    ++fired;
+    simulation.cancel(self);  // already executing: must not corrupt state
+  });
+  simulation.schedule_at(SimTime{2}, [&] { ++fired; });
+  simulation.run_all();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(simulation.pending(), 0u);
+}
+
+TEST(Simulation, CancelLaterEventFromEarlierCallback) {
+  Simulation simulation;
+  bool late_fired = false;
+  const EventId late =
+      simulation.schedule_at(SimTime{100}, [&] { late_fired = true; });
+  simulation.schedule_at(SimTime{50}, [&] { simulation.cancel(late); });
+  simulation.run_all();
+  EXPECT_FALSE(late_fired);
+  EXPECT_EQ(simulation.events_executed(), 1u);
+}
+
+// Heavy interleaving of bursts, cancellations, and partial drains must keep
+// pending() consistent with what actually fires.
+TEST(Simulation, PendingTracksBurstsAndDrains) {
+  Simulation simulation;
+  int fired = 0;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 100; ++i) {
+    ids.push_back(simulation.schedule_at(SimTime{i % 10}, [&] { ++fired; }));
+  }
+  EXPECT_EQ(simulation.pending(), 100u);
+  for (int i = 0; i < 100; i += 4) simulation.cancel(ids[std::size_t(i)]);
+  EXPECT_EQ(simulation.pending(), 75u);
+  simulation.run_until(SimTime{4});
+  simulation.run_all();
+  EXPECT_EQ(fired, 75);
+  EXPECT_EQ(simulation.pending(), 0u);
 }
 
 }  // namespace
