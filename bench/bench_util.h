@@ -22,7 +22,16 @@ namespace gw::bench {
 // knob only changes wall-clock.
 inline unsigned thread_count() {
   if (const char* env = std::getenv("GW_BENCH_THREADS")) {
-    return static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+    char* end = nullptr;
+    const unsigned long parsed = std::strtoul(env, &end, 10);
+    if (end == env || *end != '\0') {
+      std::fprintf(stderr,
+                   "[warn] GW_BENCH_THREADS=\"%s\" is not a number; "
+                   "falling back to hardware concurrency\n",
+                   env);
+      return 0;
+    }
+    return static_cast<unsigned>(parsed);
   }
   return 0;
 }

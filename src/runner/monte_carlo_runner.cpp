@@ -26,36 +26,41 @@ MonteCarloRunner::~MonteCarloRunner() {
 
 void MonteCarloRunner::dispatch(std::size_t trials,
                                 std::function<void(std::size_t)> task) {
+  auto job = std::make_shared<Job>();
+  job->task = std::move(task);
+  job->trials = trials;
   std::unique_lock<std::mutex> lock(mutex_);
-  task_ = std::move(task);
-  trials_ = trials;
-  next_trial_.store(0, std::memory_order_relaxed);
-  completed_.store(0, std::memory_order_relaxed);
+  job_ = job;
   ++epoch_;
   work_ready_.notify_all();
-  job_done_.wait(lock, [this] {
-    return completed_.load(std::memory_order_acquire) == trials_;
+  job_done_.wait(lock, [&] {
+    return job->completed.load(std::memory_order_acquire) >= job->trials;
   });
-  task_ = nullptr;
+  job_ = nullptr;
 }
 
 void MonteCarloRunner::worker_loop() {
   std::uint64_t seen_epoch = 0;
   for (;;) {
+    std::shared_ptr<Job> job;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       work_ready_.wait(lock,
                        [&] { return stop_ || epoch_ != seen_epoch; });
       if (stop_) return;
       seen_epoch = epoch_;
+      job = job_;
     }
-    const std::size_t trials = trials_;
+    // The job can already be retired (job_ reset to null) if this worker
+    // overslept it entirely; there is nothing left to claim.
+    if (!job) continue;
     for (;;) {
       const std::size_t trial =
-          next_trial_.fetch_add(1, std::memory_order_relaxed);
-      if (trial >= trials) break;
-      task_(trial);
-      if (completed_.fetch_add(1, std::memory_order_acq_rel) + 1 == trials) {
+          job->next.fetch_add(1, std::memory_order_relaxed);
+      if (trial >= job->trials) break;
+      job->task(trial);
+      if (job->completed.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+          job->trials) {
         std::lock_guard<std::mutex> lock(mutex_);
         job_done_.notify_all();
       }

@@ -22,6 +22,7 @@
 #include <cstddef>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <thread>
@@ -80,6 +81,18 @@ class MonteCarloRunner {
   }
 
  private:
+  // All per-job state lives in one heap block that workers snapshot (as a
+  // shared_ptr) under the mutex before claiming anything. A worker that
+  // oversleeps a job can therefore never claim indices against a later
+  // job's bound or invoke a later job's task — it only ever drains the job
+  // it was woken for, whose queue is already exhausted.
+  struct Job {
+    std::function<void(std::size_t)> task;
+    std::size_t trials = 0;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> completed{0};
+  };
+
   // Publishes one job to the pool and blocks until every index is done.
   void dispatch(std::size_t trials, std::function<void(std::size_t)> task);
   void worker_loop();
@@ -88,11 +101,8 @@ class MonteCarloRunner {
   std::mutex mutex_;
   std::condition_variable work_ready_;
   std::condition_variable job_done_;
-  std::function<void(std::size_t)> task_;  // non-null while a job is live
-  std::size_t trials_ = 0;
-  std::atomic<std::size_t> next_trial_{0};
-  std::atomic<std::size_t> completed_{0};
-  std::uint64_t epoch_ = 0;  // bumped per job so workers never re-enter one
+  std::shared_ptr<Job> job_;  // guarded by mutex_; non-null while a job is live
+  std::uint64_t epoch_ = 0;   // bumped per job so workers never re-enter one
   bool stop_ = false;
 };
 

@@ -11,8 +11,10 @@
 // Contract (documented in docs/PERFORMANCE.md):
 //   * any `void()` callable is accepted; copyable is not required;
 //   * inline storage requires sizeof(F) <= kInlineSize, alignof(F) <=
-//     alignof(std::max_align_t), and a noexcept move constructor (the slot
-//     slab relocates callbacks when it grows);
+//     alignof(std::max_align_t), and a noexcept move constructor — the
+//     last because move-assigning an InlineCallback relocates the inline
+//     capture, and that relocate must not throw (slots themselves are
+//     address-stable; chunks never move once allocated);
 //   * moves are noexcept; a moved-from callback is empty and must not be
 //     invoked;
 //   * invoking an empty callback is undefined (the kernel never does).

@@ -102,5 +102,29 @@ TEST(MonteCarloRunner, MoreThreadsThanTrials) {
   EXPECT_EQ(results, (std::vector<std::size_t>{0, 1, 2}));
 }
 
+// Regression: rapid back-to-back jobs smaller than the pool. A worker woken
+// late for job N must never claim indices against job N+1's state — doing so
+// invoked the new task with out-of-range trial indices (out-of-bounds writes
+// into run()'s slots) and overshot the completion count. Shrinking trial
+// counts make any stale-bound claim an immediate out-of-range hit.
+TEST(MonteCarloRunner, RapidSmallJobsNeverLeakAcrossDispatches) {
+  MonteCarloRunner pool{8};
+  for (int repeat = 0; repeat < 500; ++repeat) {
+    const std::size_t trials = 1 + std::size_t(repeat % 3);
+    std::vector<std::atomic<int>> hits(trials);
+    const auto results = pool.run(trials, [&](std::size_t trial) {
+      EXPECT_LT(trial, trials) << "stale worker claimed past the job bound";
+      if (trial >= trials) return trials;  // avoid OOB if the bug regresses
+      hits[trial].fetch_add(1, std::memory_order_relaxed);
+      return trial;
+    });
+    ASSERT_EQ(results.size(), trials);
+    for (std::size_t trial = 0; trial < trials; ++trial) {
+      EXPECT_EQ(results[trial], trial);
+      EXPECT_EQ(hits[trial].load(), 1);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace gw::runner
