@@ -1,0 +1,155 @@
+// Fleet scaling sweep — 2 to 64 stations on the Monte Carlo runner.
+//
+// The paper deployed two stations; the fleet layer makes station count
+// configuration. This bench answers the scaling questions that come with
+// that: does the §III min-rule still converge every dGPS pair when there
+// are 32 of them on one server, how much sync-convergence lag does a cold
+// (deliberately diverged) fleet carry, and how does simulated event load
+// grow per station as the fleet grows.
+//
+// Each sweep point is one independent trial on the MonteCarloRunner
+// (GW_BENCH_THREADS pins the pool; results are byte-identical at any
+// thread count — scripts/check.sh diffs the export at 1 thread vs default
+// as the fleet determinism gate). The exported gauges are all derived from
+// simulated time and simulated counters, so BENCH_fleet_scale.json is
+// reproducible byte-for-byte; wall-clock throughput goes to stdout only.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "runner/monte_carlo_runner.h"
+#include "station/fleet.h"
+#include "util/strings.h"
+
+namespace gw {
+namespace {
+
+constexpr int kDays = 14;
+constexpr std::uint64_t kSeedBase = 42000;
+const std::vector<int> kSizes{2, 4, 8, 16, 32, 64};
+
+struct ScalePoint {
+  int stations = 0;
+  int convergence_lag_days = -1;  // first day every group was in lockstep
+  int diverged_group_days = 0;    // sum over days of non-converged groups
+  std::uint64_t sim_events = 0;
+  double yield_bytes = 0.0;
+  double stations_up = 0.0;
+  double groups_total = 0.0;
+  double groups_converged = 0.0;
+  double probes_alive = 0.0;
+  double wall_seconds = 0.0;  // stdout only — never exported
+};
+
+// One fleet season, entirely derived from the sweep size (the runner's
+// usage contract). The uniform preset starts every pair diverged (state 3
+// vs state 2, full vs 70 % battery), so convergence lag measures real
+// min-rule work, not an already-settled fleet.
+ScalePoint run_point(int stations) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  station::Fleet fleet{station::uniform_fleet_config(
+      stations, kSeedBase + std::uint64_t(stations))};
+  ScalePoint point;
+  point.stations = stations;
+  for (int day = 1; day <= kDays; ++day) {
+    fleet.run_days(1.0);
+    auto& rollup = fleet.update_rollup();
+    const double total = rollup.gauge_value("fleet", "groups_total");
+    const double converged = rollup.gauge_value("fleet", "groups_converged");
+    if (point.convergence_lag_days < 0 && converged == total) {
+      point.convergence_lag_days = day;
+    }
+    point.diverged_group_days += int(total - converged);
+  }
+  point.sim_events = fleet.simulation().events_executed();
+  auto& rollup = fleet.rollup_metrics();
+  point.yield_bytes = rollup.gauge_value("fleet", "yield_bytes");
+  point.stations_up = rollup.gauge_value("fleet", "stations_up");
+  point.groups_total = rollup.gauge_value("fleet", "groups_total");
+  point.groups_converged = rollup.gauge_value("fleet", "groups_converged");
+  point.probes_alive = rollup.gauge_value("fleet", "probes_alive");
+  point.wall_seconds = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - wall_start)
+                           .count();
+  return point;
+}
+
+void run() {
+  bench::heading("Fleet scaling: 2 -> 64 stations, " +
+                 std::to_string(kDays) + "-day seasons");
+  runner::MonteCarloRunner pool{bench::thread_count()};
+  std::printf("  threads: %u, one trial per fleet size\n", pool.threads());
+
+  const auto points = pool.run(
+      kSizes.size(), [](std::size_t trial) { return run_point(kSizes[trial]); });
+
+  bench::row({"Stations", "Converged", "Lag", "Div grp-days",
+              "Sim ev/stn/day", "Yield KiB/stn", "Wall s"},
+             {8, 10, 6, 12, 14, 13, 8});
+  for (const auto& point : points) {
+    const double per_station_day =
+        double(point.sim_events) / (double(point.stations) * kDays);
+    bench::row(
+        {std::to_string(point.stations),
+         util::format_fixed(point.groups_converged, 0) + "/" +
+             util::format_fixed(point.groups_total, 0),
+         point.convergence_lag_days < 0
+             ? "never"
+             : std::to_string(point.convergence_lag_days) + "d",
+         std::to_string(point.diverged_group_days),
+         util::format_fixed(per_station_day, 1),
+         util::format_fixed(point.yield_bytes / (1024.0 * point.stations), 1),
+         util::format_fixed(point.wall_seconds, 2)},
+        {8, 10, 6, 12, 14, 13, 8});
+  }
+  bench::note(
+      "every pair starts diverged (state 3 vs 2); lag = first day all "
+      "groups were in lockstep. Sim ev/stn/day should stay ~flat: per-"
+      "station event load must not grow with fleet size.");
+
+  // Wall-clock throughput: stdout only. The JSON below must stay byte-
+  // identical across hosts and thread counts, so nothing timed enters it.
+  double wall_total = 0.0;
+  for (const auto& point : points) wall_total += point.wall_seconds;
+  std::printf("  total trial wall-clock %.2f s (pool may overlap trials)\n",
+              wall_total);
+
+  obs::MetricsRegistry registry;
+  for (const auto& point : points) {
+    char component[8];
+    std::snprintf(component, sizeof component, "n%03d", point.stations);
+    auto set = [&](const char* name, double value) {
+      registry.gauge(component, name).set(value);
+    };
+    set("stations", double(point.stations));
+    set("convergence_lag_days", double(point.convergence_lag_days));
+    set("diverged_group_days", double(point.diverged_group_days));
+    set("sim_events", double(point.sim_events));
+    set("sim_events_per_station_day",
+        double(point.sim_events) / (double(point.stations) * kDays));
+    set("yield_bytes", point.yield_bytes);
+    set("yield_bytes_per_station", point.yield_bytes / point.stations);
+    set("stations_up", point.stations_up);
+    set("groups_total", point.groups_total);
+    set("groups_converged", point.groups_converged);
+    set("probes_alive", point.probes_alive);
+  }
+  obs::BenchReport report;
+  report.bench = "fleet_scale";
+  report.meta = {{"days", std::to_string(kDays)},
+                 {"deterministic", "true"},
+                 {"seed_base", std::to_string(kSeedBase)},
+                 {"sizes", "2,4,8,16,32,64"}};
+  report.sections = {{"sweep", &registry, nullptr}};
+  bench::export_report(report);
+}
+
+}  // namespace
+}  // namespace gw
+
+int main() {
+  gw::run();
+  return 0;
+}

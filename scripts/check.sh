@@ -20,7 +20,13 @@
 #      runs them and leaves machine-readable results in the repo root as
 #      BENCH_throughput.json (schema glacsweb.bench.v1) and
 #      BENCH_microbench_raw.json (google-benchmark JSON). Skipped when the
-#      binaries are absent; disable explicitly with GW_CHECK_BENCH=0.
+#      binaries are absent; disable explicitly with GW_CHECK_BENCH=0;
+#   6. fleet determinism gate: when build/bench/bench_fleet_scale exists,
+#      runs the 2 -> 64 station sweep twice — GW_BENCH_THREADS=1 and the
+#      default pool — and diffs the two BENCH_fleet_scale.json exports
+#      byte-for-byte. Any difference means parallelism leaked into the
+#      results and fails the check. Leaves the export in the repo root;
+#      disabled together with leg 5 via GW_CHECK_BENCH=0.
 #
 # Exits non-zero on any real failure; missing tools skip their check.
 set -u
@@ -157,6 +163,28 @@ if [ "${GW_CHECK_BENCH:-1}" = "1" ]; then
   fi
 else
   echo "skip: bench export (GW_CHECK_BENCH=0)"
+fi
+
+# --- 6. fleet determinism gate --------------------------------------------
+if [ "${GW_CHECK_BENCH:-1}" = "1" ]; then
+  if [ -x build/bench/bench_fleet_scale ]; then
+    echo "== fleet scale sweep: 1 thread vs default pool (byte-diff gate)"
+    if GW_BENCH_THREADS=1 ./build/bench/bench_fleet_scale >/dev/null &&
+       mv BENCH_fleet_scale.json BENCH_fleet_scale.1thread.json &&
+       ./build/bench/bench_fleet_scale >/dev/null &&
+       cmp -s BENCH_fleet_scale.json BENCH_fleet_scale.1thread.json; then
+      rm -f BENCH_fleet_scale.1thread.json
+      echo "ok: BENCH_fleet_scale.json byte-identical at 1 vs N threads"
+    else
+      echo "FAIL: fleet sweep exports differ across thread counts" \
+           "(compare BENCH_fleet_scale.json vs BENCH_fleet_scale.1thread.json)"
+      failures=$((failures + 1))
+    fi
+  else
+    echo "skip: bench_fleet_scale not built (build the default tree first)"
+  fi
+else
+  echo "skip: fleet determinism gate (GW_CHECK_BENCH=0)"
 fi
 
 if [ "$failures" -ne 0 ]; then

@@ -1,15 +1,24 @@
-// Server-mediated power-state synchronisation (§III).
+// Server-mediated power-state synchronisation (§III), generalised to
+// N-station fleets via named sync groups.
 //
-// The dGPS needs *both* stations recording on the same schedule, but the
-// dual-GPRS architecture removed the inter-station link. The fix: each
-// station uploads its local state daily; when a station later asks for its
-// override, the server "looks up both the existing states from the stations
-// and returns the lowest one" (optionally floored further by a manual
-// override from Southampton). Station-side safety clamps then apply:
+// The dGPS needs *both* stations of a pair recording on the same schedule,
+// but the dual-GPRS architecture removed the inter-station link. The fix:
+// each station uploads its local state daily; when a station later asks for
+// its override, the server "looks up both the existing states from the
+// stations and returns the lowest one" (optionally floored further by a
+// manual override from Southampton). Station-side safety clamps then apply:
 //   * never above what the battery voltage allows;
 //   * never forced into state 0 (a state with no communications could
 //     otherwise be made permanent from afar);
 //   * if the fetch fails, just run the local state (§III).
+//
+// Fleet generalisation: stations are assigned to named *sync groups* (a
+// dGPS pair is one group). The min-rule and the group override apply only
+// within a group; an ungrouped station self-syncs (its own fresh report is
+// the only ledger entry that binds it). The fleet-wide manual override
+// still floors every station — that is the operator's big red lever. The
+// legacy no-argument query remains the fleet-wide view (min over every
+// fresh report) for pre-fleet callers.
 //
 // SyncRules is the pure logic; SyncServer is the Southampton ledger. The
 // upload/download split across the daily run (upload *before* fetching the
@@ -22,6 +31,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/power_policy.h"
 #include "sim/time.h"
@@ -42,13 +52,14 @@ struct SyncRules {
   }
 };
 
-// Southampton's ledger: latest reported state per station + manual override.
+// Southampton's ledger: latest reported state per station, sync-group
+// membership, and the manual overrides (fleet-wide and per-group).
 //
 // Reports carry a timestamp and expire after max_report_age: a station that
-// has gone silent (flat battery, weeks-long GPRS outage) must not pin the
-// whole deployment to its last — typically lowest — reported state forever.
-// Once its report ages out, the min-rule is computed over the stations
-// still talking. The manual override never expires.
+// has gone silent (flat battery, weeks-long GPRS outage) must not pin its
+// group to its last — typically lowest — reported state forever. Once its
+// report ages out, the min-rule is computed over the members still talking.
+// Manual overrides never expire.
 class SyncServer {
  public:
   // Reports older than this are ignored by override_for_client(). Generous
@@ -65,21 +76,107 @@ class SyncServer {
     latest_[station] = Entry{state, at};
   }
 
+  // --- sync groups --------------------------------------------------------
+
+  // Puts `station` in `group` (an empty group name removes it). Membership
+  // is configuration, not data: the fleet assembly declares its dGPS pairs
+  // once, before any report arrives.
+  void assign_group(const std::string& station, const std::string& group) {
+    if (group.empty()) {
+      group_of_.erase(station);
+    } else {
+      group_of_[station] = group;
+    }
+  }
+
+  // The station's group, or "" when it is ungrouped (self-syncing).
+  [[nodiscard]] std::string group_of(const std::string& station) const {
+    const auto it = group_of_.find(station);
+    return it == group_of_.end() ? std::string{} : it->second;
+  }
+
+  // Members of a group, in name order (deterministic export order).
+  [[nodiscard]] std::vector<std::string> group_members(
+      const std::string& group) const {
+    std::vector<std::string> members;
+    for (const auto& [station, g] : group_of_) {
+      if (g == group) members.push_back(station);
+    }
+    return members;
+  }
+
+  // Distinct group names, sorted.
+  [[nodiscard]] std::vector<std::string> groups() const {
+    std::vector<std::string> names;
+    for (const auto& [station, g] : group_of_) {
+      if (std::find(names.begin(), names.end(), g) == names.end()) {
+        names.push_back(g);
+      }
+    }
+    std::sort(names.begin(), names.end());
+    return names;
+  }
+
+  // --- overrides ----------------------------------------------------------
+
   // Operator intervention ("easy manual overriding of the power states if
-  // required", §III). nullopt clears it.
+  // required", §III). Fleet-wide: floors every station. nullopt clears it.
   void set_manual_override(std::optional<PowerState> override_state) {
     manual_override_ = override_state;
   }
 
-  // The override returned to any asking station: the minimum over every
-  // *fresh* reported state and the manual override. Before any reports
-  // exist there is nothing to say.
+  // Group-scoped operator override: floors only that group's members.
+  void set_group_override(const std::string& group,
+                          std::optional<PowerState> override_state) {
+    if (override_state.has_value()) {
+      group_overrides_[group] = *override_state;
+    } else {
+      group_overrides_.erase(group);
+    }
+  }
+
+  [[nodiscard]] std::optional<PowerState> group_override(
+      const std::string& group) const {
+    const auto it = group_overrides_.find(group);
+    if (it == group_overrides_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  // --- queries ------------------------------------------------------------
+
+  // Legacy fleet-wide view: the minimum over every *fresh* reported state
+  // and the fleet-wide manual override. Before any reports exist there is
+  // nothing to say. (Pre-fleet callers and diagnostics; stations use the
+  // per-station overload below.)
   [[nodiscard]] std::optional<PowerState> override_for_client(
       sim::SimTime now = sim::kEpoch) const {
     std::optional<PowerState> lowest = manual_override_;
     for (const auto& [station, entry] : latest_) {
-      if (now - entry.reported_at > max_report_age_) continue;  // stale
-      if (!lowest.has_value() || entry.state < *lowest) lowest = entry.state;
+      fold_entry(entry, now, lowest);
+    }
+    return lowest;
+  }
+
+  // The override returned to `station`: grouped stations get the min over
+  // their group's fresh reports, floored by the group override; ungrouped
+  // stations self-sync (only their own fresh report binds). The fleet-wide
+  // manual override applies to everyone.
+  [[nodiscard]] std::optional<PowerState> override_for_client(
+      const std::string& station, sim::SimTime now = sim::kEpoch) const {
+    std::optional<PowerState> lowest = manual_override_;
+    const std::string group = group_of(station);
+    if (group.empty()) {
+      const auto it = latest_.find(station);
+      if (it != latest_.end()) fold_entry(it->second, now, lowest);
+      return lowest;
+    }
+    if (const auto scoped = group_override(group); scoped.has_value()) {
+      if (!lowest.has_value() || *scoped < *lowest) lowest = *scoped;
+    }
+    for (const auto& [member, g] : group_of_) {
+      if (g != group) continue;
+      const auto it = latest_.find(member);
+      if (it != latest_.end()) fold_entry(it->second, now, lowest);
     }
     return lowest;
   }
@@ -104,7 +201,16 @@ class SyncServer {
     sim::SimTime reported_at{};
   };
 
+  // Folds a ledger entry into the running minimum iff it is still fresh.
+  void fold_entry(const Entry& entry, sim::SimTime now,
+                  std::optional<PowerState>& lowest) const {
+    if (now - entry.reported_at > max_report_age_) return;  // stale
+    if (!lowest.has_value() || entry.state < *lowest) lowest = entry.state;
+  }
+
   std::map<std::string, Entry> latest_;
+  std::map<std::string, std::string> group_of_;
+  std::map<std::string, PowerState> group_overrides_;
   std::optional<PowerState> manual_override_;
   sim::Duration max_report_age_ = sim::days(5);
 };

@@ -34,6 +34,10 @@ const char* to_string(EventType type) {
       return "degraded_exit";
     case EventType::kSessionTimeout:
       return "session_timeout";
+    case EventType::kGroupDiverged:
+      return "group_diverged";
+    case EventType::kGroupConverged:
+      return "group_converged";
   }
   return "unknown";
 }

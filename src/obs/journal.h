@@ -37,6 +37,8 @@ enum class EventType : int {
   kDegradedEnter = 12,   // a = consecutive failed upload days, b = queued files
   kDegradedExit = 13,    // a = days spent degraded
   kSessionTimeout = 14,  // a = session elapsed seconds, b = cap seconds
+  kGroupDiverged = 15,   // a = members in the sync group, b = distinct states
+  kGroupConverged = 16,  // a = members in the sync group, b = agreed state
 };
 
 [[nodiscard]] const char* to_string(EventType type);

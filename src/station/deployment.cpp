@@ -1,117 +1,39 @@
 #include "station/deployment.h"
 
-#include <stdexcept>
-
-#include "power/chargers.h"
-
 namespace gw::station {
-namespace {
 
-// Per-probe spread: Fig 6 shows distinct conductivity curves for probes
-// 21/24/25 — different positions relative to basal drainage give different
-// baselines and melt responses; radio quality varies with depth/orientation.
-struct ProbeVariant {
-  double base_us;
-  double gain_us;
-  double link_quality;
-};
+FleetConfig DeploymentConfig::to_fleet_config() const {
+  FleetConfig fleet;
+  fleet.seed = seed;
+  fleet.start = start;
+  fleet.environment = environment;
+  fleet.trace_enabled = trace_enabled;
+  fleet.trace_interval = trace_interval;
+  fleet.fault_spec = fault_spec;
+  // Legacy knobs: bare probe<id> names and an uncapped receipt ledger keep
+  // every pre-fleet export byte-identical.
+  fleet.station_scoped_probe_names = false;
+  fleet.server_received_window = 0;
 
-constexpr ProbeVariant kVariants[] = {
-    {0.5, 9.0, 1.0},  {0.8, 13.5, 1.1}, {0.3, 7.0, 0.9}, {1.2, 15.0, 1.3},
-    {0.6, 11.0, 1.0}, {0.9, 8.5, 1.2},  {0.4, 12.0, 0.8},
-};
+  // §III: base station harvest = 10 W solar + 50 W wind turbine; reference
+  // station = solar panel + café mains (tourist season). The two stations
+  // are one dGPS pair, so they share a sync group.
+  StationSpec base_spec;
+  base_spec.station = base;
+  base_spec.sync_group = "dgps";
+  base_spec.chargers = {ChargerKind::kSolar, ChargerKind::kWind};
+  base_spec.probe_count = probe_count;
 
-}  // namespace
+  StationSpec reference_spec;
+  reference_spec.station = reference;
+  reference_spec.sync_group = "dgps";
+  reference_spec.chargers = {ChargerKind::kSolar, ChargerKind::kMains};
+
+  fleet.stations = {std::move(base_spec), std::move(reference_spec)};
+  return fleet;
+}
 
 Deployment::Deployment(DeploymentConfig config)
-    : config_(config),
-      simulation_(sim::to_time(config.start)),
-      environment_(config.environment, config.seed) {
-  util::Rng rng{config.seed};
-
-  if (!config_.fault_spec.empty()) {
-    auto plan = fault::FaultPlan::parse(config_.fault_spec);
-    if (!plan.ok()) {
-      throw std::invalid_argument("Deployment: " + plan.error().message);
-    }
-    fault_oracle_ =
-        fault::FaultOracle{std::move(plan.value()), sim::to_time(config.start)};
-    fault_oracle_.set_hooks(obs::Hooks{&fault_metrics_, &fault_journal_});
-    server_.set_fault_oracle(&fault_oracle_);
-  }
-
-  base_ = std::make_unique<Station>(simulation_, environment_, server_,
-                                    rng.fork("base"), config.base);
-  if (!config_.fault_spec.empty()) base_->set_fault_oracle(&fault_oracle_);
-  // §III: base station harvest = 10 W solar + 50 W wind turbine.
-  base_->add_charger(
-      std::make_unique<power::SolarPanel>(power::SolarPanelConfig{}));
-  base_->add_charger(
-      std::make_unique<power::WindTurbine>(power::WindTurbineConfig{}));
-
-  reference_ = std::make_unique<Station>(simulation_, environment_, server_,
-                                         rng.fork("reference"),
-                                         config.reference);
-  if (!config_.fault_spec.empty()) {
-    reference_->set_fault_oracle(&fault_oracle_);
-  }
-  // §III: reference station = solar panel + café mains (tourist season).
-  reference_->add_charger(
-      std::make_unique<power::SolarPanel>(power::SolarPanelConfig{}));
-  reference_->add_charger(
-      std::make_unique<power::MainsCharger>(power::MainsChargerConfig{}));
-
-  for (int i = 0; i < config.probe_count; ++i) {
-    const auto& variant = kVariants[std::size_t(i) % std::size(kVariants)];
-    ProbeNodeConfig probe_config;
-    probe_config.probe_id = 20 + i;  // the paper names probes 21/24/25
-    probe_config.conductivity_base_us = variant.base_us;
-    probe_config.conductivity_gain_us = variant.gain_us;
-    probe_config.link_quality_factor = variant.link_quality;
-    probes_.push_back(std::make_unique<ProbeNode>(
-        simulation_, environment_,
-        rng.fork("probe" + std::to_string(probe_config.probe_id)),
-        probe_config));
-    base_->add_probe(*probes_.back());
-  }
-
-  base_->start();
-  reference_->start();
-
-  if (config_.trace_enabled) sample_trace();
-}
-
-void Deployment::run_days(double days) {
-  simulation_.run_until(simulation_.now() + sim::days(days));
-}
-
-int Deployment::probes_alive() const {
-  int alive = 0;
-  for (const auto& probe : probes_) {
-    if (probe->alive()) ++alive;
-  }
-  return alive;
-}
-
-void Deployment::sample_trace() {
-  const sim::SimTime now = simulation_.now();
-  for (Station* station : {base_.get(), reference_.get()}) {
-    const std::string prefix = station->name() + ".";
-    trace_.add(prefix + "voltage", now,
-               station->power().terminal_voltage().value());
-    trace_.add(prefix + "state", now,
-               double(core::to_int(station->current_state())));
-    trace_.add(prefix + "soc", now, station->power().battery().soc());
-  }
-  for (const auto& probe : probes_) {
-    if (!probe->alive()) continue;
-    const auto conductivity = environment_.melt().conductivity(
-        now, environment_.temperature(), probe->config().conductivity_base_us,
-        probe->config().conductivity_gain_us);
-    trace_.add("probe" + std::to_string(probe->id()) + ".conductivity", now,
-               conductivity.value());
-  }
-  simulation_.schedule_in(config_.trace_interval, [this] { sample_trace(); });
-}
+    : config_(std::move(config)), fleet_(config_.to_fleet_config()) {}
 
 }  // namespace gw::station

@@ -1,4 +1,5 @@
-// Deployment: the full Iceland field system wired together.
+// Deployment: the paper's Iceland field system as a two-station preset
+// over the fleet layer.
 //
 // One object assembles what the paper deployed in 2008: a glacier base
 // station (solar + wind, 7 subglacial probes, dGPS, GPRS), a café reference
@@ -6,21 +7,19 @@
 // server mediating them, and the shared environment — all reproducible
 // from a single seed. The benches and examples run a Deployment for N days
 // and read the ledgers and traces off it.
+//
+// Since the fleet refactor this class owns no wiring of its own: it maps
+// DeploymentConfig onto a two-StationSpec FleetConfig (both stations in
+// sync group "dgps", legacy bare probe<id> trace names) and delegates.
+// Exports are byte-identical to the pre-fleet hand-wired assembly — the
+// shape-stability suite pins that equivalence.
 #pragma once
 
 #include <memory>
 #include <string>
 #include <vector>
 
-#include "env/environment.h"
-#include "fault/fault.h"
-#include "obs/journal.h"
-#include "obs/metrics.h"
-#include "sim/simulation.h"
-#include "sim/trace.h"
-#include "station/probe_node.h"
-#include "station/southampton.h"
-#include "station/station.h"
+#include "station/fleet.h"
 
 namespace gw::station {
 
@@ -46,6 +45,11 @@ struct DeploymentConfig {
     reference.name = "reference";
     reference.role = StationRole::kReferenceStation;
   }
+
+  // The equivalent fleet description: base (solar + wind, the probes) and
+  // reference (solar + mains) paired in sync group "dgps", legacy probe
+  // naming. Exposed so fleet users can start from the paper's shape.
+  [[nodiscard]] FleetConfig to_fleet_config() const;
 };
 
 class Deployment {
@@ -56,50 +60,47 @@ class Deployment {
   Deployment& operator=(const Deployment&) = delete;
 
   // Advances the whole system by `days` simulated days.
-  void run_days(double days);
+  void run_days(double days) { fleet_.run_days(days); }
 
-  [[nodiscard]] sim::Simulation& simulation() { return simulation_; }
-  [[nodiscard]] env::Environment& environment() { return environment_; }
-  [[nodiscard]] SouthamptonServer& server() { return server_; }
-  [[nodiscard]] Station& base() { return *base_; }
-  [[nodiscard]] Station& reference() { return *reference_; }
+  [[nodiscard]] sim::Simulation& simulation() { return fleet_.simulation(); }
+  [[nodiscard]] env::Environment& environment() {
+    return fleet_.environment();
+  }
+  [[nodiscard]] SouthamptonServer& server() { return fleet_.server(); }
+  [[nodiscard]] Station& base() { return fleet_.station(0); }
+  [[nodiscard]] Station& reference() { return fleet_.station(1); }
   [[nodiscard]] std::vector<std::unique_ptr<ProbeNode>>& probes() {
-    return probes_;
+    return fleet_.probes(0);
   }
 
-  [[nodiscard]] int probes_alive() const;
+  [[nodiscard]] int probes_alive() const { return fleet_.probes_alive(); }
 
   // 30-minute series: "<station>.voltage", "<station>.state",
   // "<station>.soc", and "probe<id>.conductivity" — the raw material for
   // the Fig 5 / Fig 6 benches.
-  [[nodiscard]] sim::Trace& trace() { return trace_; }
+  [[nodiscard]] sim::Trace& trace() { return fleet_.trace(); }
 
   // The shared fault oracle (always present; empty plan when no fault_spec
   // was given) and its instrumentation pair — fleet-level observables the
   // soak harness exports alongside the per-station registries.
-  [[nodiscard]] fault::FaultOracle& fault_oracle() { return fault_oracle_; }
-  [[nodiscard]] obs::MetricsRegistry& fault_metrics() {
-    return fault_metrics_;
+  [[nodiscard]] fault::FaultOracle& fault_oracle() {
+    return fleet_.fault_oracle();
   }
-  [[nodiscard]] obs::EventJournal& fault_journal() { return fault_journal_; }
+  [[nodiscard]] obs::MetricsRegistry& fault_metrics() {
+    return fleet_.fault_metrics();
+  }
+  [[nodiscard]] obs::EventJournal& fault_journal() {
+    return fleet_.fault_journal();
+  }
+
+  // The underlying fleet (rollup registry, group status, probe namespace).
+  [[nodiscard]] Fleet& fleet() { return fleet_; }
 
   [[nodiscard]] const DeploymentConfig& config() const { return config_; }
 
  private:
-  void sample_trace();
-
   DeploymentConfig config_;
-  sim::Simulation simulation_;
-  env::Environment environment_;
-  // Declared before the stations: devices hold FaultOracle* into this.
-  obs::MetricsRegistry fault_metrics_;
-  obs::EventJournal fault_journal_;
-  fault::FaultOracle fault_oracle_;
-  SouthamptonServer server_;
-  std::unique_ptr<Station> base_;
-  std::unique_ptr<Station> reference_;
-  std::vector<std::unique_ptr<ProbeNode>> probes_;
-  sim::Trace trace_;
+  Fleet fleet_;
 };
 
 }  // namespace gw::station

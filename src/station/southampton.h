@@ -1,11 +1,19 @@
 // The Southampton server.
 //
 // §III: "the communications are managed by a server in Southampton" — it is
-// the only rendezvous between the two stations. It keeps the state-sync
-// ledger (core::SyncServer), queues "special" command scripts and update
-// packages per station, receives the daily data/log uploads, and collects
-// MD5 beacons. The received-data ledger is what the architecture and
-// backlog benches measure as *yield*.
+// the only rendezvous between the stations. It keeps the state-sync ledger
+// (core::SyncServer, sync-group aware), queues "special" command scripts
+// and update packages per station, receives the daily data/log uploads, and
+// collects MD5 beacons. The received-data ledger is what the architecture
+// and backlog benches measure as *yield*.
+//
+// Fleet hygiene: per-station totals (files, bytes) are maintained as exact
+// counters in receive_file, so queries are O(log stations) regardless of
+// how many files a 130-day × N-station soak has ingested; the raw receipt
+// ledger can be capped behind a rolling window (set_received_window) so
+// memory stays bounded while the totals stay exact. Read paths never
+// mutate: fetching from a station with nothing queued leaves the ledgers
+// untouched.
 #pragma once
 
 #include <deque>
@@ -55,17 +63,38 @@ class SouthamptonServer {
   // --- state sync -----------------------------------------------------
 
   [[nodiscard]] core::SyncServer& sync() { return sync_; }
+  [[nodiscard]] const core::SyncServer& sync() const { return sync_; }
 
   // --- data ingest ------------------------------------------------------
+
+  // Caps the raw receipt ledger to the most recent `window` files (0 =
+  // unbounded, the legacy behaviour). Totals from files_from/bytes_from are
+  // unaffected: they are counters, not scans.
+  void set_received_window(std::size_t window) {
+    received_window_ = window;
+    trim_received();
+  }
+  [[nodiscard]] std::size_t received_window() const {
+    return received_window_;
+  }
 
   void receive_file(const std::string& station, const std::string& name,
                     util::Bytes size, sim::SimTime at) {
     received_.push_back(ReceivedFile{station, name, size, at});
     bytes_by_station_[station] += size;
+    ++files_by_station_[station];
+    ++files_received_;
+    trim_received();
   }
 
-  [[nodiscard]] const std::vector<ReceivedFile>& received() const {
+  // The rolling receipt window (all receipts when no window is set).
+  [[nodiscard]] const std::deque<ReceivedFile>& received() const {
     return received_;
+  }
+
+  // Exact lifetime totals, independent of the receipt window.
+  [[nodiscard]] std::uint64_t files_received() const {
+    return files_received_;
   }
 
   [[nodiscard]] util::Bytes bytes_from(const std::string& station) const {
@@ -74,11 +103,8 @@ class SouthamptonServer {
   }
 
   [[nodiscard]] int files_from(const std::string& station) const {
-    int n = 0;
-    for (const auto& file : received_) {
-      if (file.station == station) ++n;
-    }
-    return n;
+    const auto it = files_by_station_.find(station);
+    return it == files_by_station_.end() ? 0 : it->second;
   }
 
   // --- special commands ---------------------------------------------------
@@ -90,10 +116,10 @@ class SouthamptonServer {
 
   [[nodiscard]] std::optional<core::SpecialCommand> fetch_special(
       const std::string& station) {
-    auto& queue = specials_[station];
-    if (queue.empty()) return std::nullopt;
-    core::SpecialCommand command = queue.front();
-    queue.pop_front();
+    const auto it = specials_.find(station);
+    if (it == specials_.end() || it->second.empty()) return std::nullopt;
+    core::SpecialCommand command = it->second.front();
+    it->second.pop_front();
     return command;
   }
 
@@ -115,10 +141,12 @@ class SouthamptonServer {
 
   [[nodiscard]] std::optional<core::ConfigUpdate> fetch_config_update(
       const std::string& station) {
-    auto& queue = config_updates_[station];
-    if (queue.empty()) return std::nullopt;
-    core::ConfigUpdate update = queue.front();
-    queue.pop_front();
+    const auto it = config_updates_.find(station);
+    if (it == config_updates_.end() || it->second.empty()) {
+      return std::nullopt;
+    }
+    core::ConfigUpdate update = it->second.front();
+    it->second.pop_front();
     return update;
   }
 
@@ -130,10 +158,10 @@ class SouthamptonServer {
 
   [[nodiscard]] std::optional<core::UpdatePackage> fetch_update(
       const std::string& station) {
-    auto& queue = updates_[station];
-    if (queue.empty()) return std::nullopt;
-    core::UpdatePackage package = queue.front();
-    queue.pop_front();
+    const auto it = updates_.find(station);
+    if (it == updates_.end() || it->second.empty()) return std::nullopt;
+    core::UpdatePackage package = it->second.front();
+    it->second.pop_front();
     return package;
   }
 
@@ -149,11 +177,34 @@ class SouthamptonServer {
     return beacons_;
   }
 
+  // --- ledger introspection (tests / leak guards) -------------------------
+
+  // Number of stations with a materialised queue of each kind. Queues are
+  // created by queue_* only; fetch_* from an unknown station must leave
+  // these counts unchanged.
+  [[nodiscard]] std::size_t special_queue_count() const {
+    return specials_.size();
+  }
+  [[nodiscard]] std::size_t update_queue_count() const {
+    return updates_.size();
+  }
+  [[nodiscard]] std::size_t config_update_queue_count() const {
+    return config_updates_.size();
+  }
+
  private:
+  void trim_received() {
+    if (received_window_ == 0) return;
+    while (received_.size() > received_window_) received_.pop_front();
+  }
+
   fault::FaultOracle* oracle_ = nullptr;
   core::SyncServer sync_;
-  std::vector<ReceivedFile> received_;
+  std::deque<ReceivedFile> received_;
+  std::size_t received_window_ = 0;  // 0 = unbounded
+  std::uint64_t files_received_ = 0;
   std::map<std::string, util::Bytes> bytes_by_station_;
+  std::map<std::string, int> files_by_station_;
   std::map<std::string, std::deque<core::SpecialCommand>> specials_;
   std::map<std::string, std::deque<core::UpdatePackage>> updates_;
   std::map<std::string, std::deque<core::ConfigUpdate>> config_updates_;

@@ -552,7 +552,7 @@ sim::Duration Station::fetch_override() {
   // Request up + response down ride one session.
   proto::OverrideResponse response;
   const auto server_override =
-      server_.sync().override_for_client(simulation_.now());
+      server_.sync().override_for_client(config_.name, simulation_.now());
   response.has_override = server_override.has_value();
   if (server_override.has_value()) response.state = *server_override;
   const std::string response_wire = response.encode();

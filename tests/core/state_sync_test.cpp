@@ -113,6 +113,102 @@ TEST(SyncServer, TimestampFreeCallersStayFresh) {
   EXPECT_EQ(*server.override_for_client(), PowerState::kState1);
 }
 
+TEST(SyncServer, MinRuleIsScopedToTheSyncGroup) {
+  // Two dGPS pairs on one server: each pair's min-rule must see only its
+  // own members, not the whole fleet.
+  SyncServer server;
+  server.assign_group("a1", "pair_a");
+  server.assign_group("a2", "pair_a");
+  server.assign_group("b1", "pair_b");
+  server.assign_group("b2", "pair_b");
+  server.report_state("a1", PowerState::kState1);
+  server.report_state("a2", PowerState::kState3);
+  server.report_state("b1", PowerState::kState3);
+  server.report_state("b2", PowerState::kState2);
+  EXPECT_EQ(*server.override_for_client("a1"), PowerState::kState1);
+  EXPECT_EQ(*server.override_for_client("a2"), PowerState::kState1);
+  EXPECT_EQ(*server.override_for_client("b1"), PowerState::kState2);
+  EXPECT_EQ(*server.override_for_client("b2"), PowerState::kState2);
+  // The legacy fleet-wide view still folds everyone.
+  EXPECT_EQ(*server.override_for_client(), PowerState::kState1);
+}
+
+TEST(SyncServer, UngroupedStationSelfSyncs) {
+  // An ungrouped station is bound only by its own report (and any manual
+  // override) — another station's low state must not drag it down.
+  SyncServer server;
+  server.report_state("lone", PowerState::kState3);
+  server.report_state("other", PowerState::kState1);
+  EXPECT_EQ(*server.override_for_client("lone"), PowerState::kState3);
+  // Before it has reported anything, the server has nothing to say to it.
+  EXPECT_FALSE(server.override_for_client("fresh").has_value());
+}
+
+TEST(SyncServer, ExpiryUnpinsSilentMemberOfLargeGroup) {
+  // A 3-station group: the member that browns out and goes silent must age
+  // out of its group's min-rule, not pin it forever.
+  SyncServer server;
+  for (const char* name : {"g1", "g2", "g3"}) {
+    server.assign_group(name, "trio");
+  }
+  const auto start = sim::at_midnight(2008, 10, 1);
+  server.report_state("g1", PowerState::kState1, start);
+  server.report_state("g2", PowerState::kState3, start);
+  server.report_state("g3", PowerState::kState2, start);
+  EXPECT_EQ(*server.override_for_client("g2", start), PowerState::kState1);
+  // g1 goes silent; the others keep reporting past its expiry horizon.
+  const auto later = start + server.max_report_age() + sim::days(2);
+  server.report_state("g2", PowerState::kState3, later);
+  server.report_state("g3", PowerState::kState2, later);
+  EXPECT_EQ(*server.override_for_client("g2", later), PowerState::kState2);
+  // When it comes back, its reports bind the group again.
+  server.report_state("g1", PowerState::kState1, later);
+  EXPECT_EQ(*server.override_for_client("g2", later), PowerState::kState1);
+}
+
+TEST(SyncServer, GroupOverrideScopedToOneGroupNotTheFleet) {
+  SyncServer server;
+  server.assign_group("a1", "pair_a");
+  server.assign_group("a2", "pair_a");
+  server.assign_group("b1", "pair_b");
+  server.assign_group("b2", "pair_b");
+  for (const char* name : {"a1", "a2", "b1", "b2"}) {
+    server.report_state(name, PowerState::kState3);
+  }
+  server.set_group_override("pair_a", PowerState::kState1);
+  EXPECT_EQ(*server.override_for_client("a1"), PowerState::kState1);
+  EXPECT_EQ(*server.override_for_client("a2"), PowerState::kState1);
+  // pair_b is untouched by pair_a's override.
+  EXPECT_EQ(*server.override_for_client("b1"), PowerState::kState3);
+  // Clearing restores the group's own min-rule.
+  server.set_group_override("pair_a", std::nullopt);
+  EXPECT_EQ(*server.override_for_client("a1"), PowerState::kState3);
+  // The fleet-wide manual override still floors everyone.
+  server.set_manual_override(PowerState::kState2);
+  EXPECT_EQ(*server.override_for_client("a1"), PowerState::kState2);
+  EXPECT_EQ(*server.override_for_client("b1"), PowerState::kState2);
+}
+
+TEST(SyncServer, GroupMembershipIntrospection) {
+  SyncServer server;
+  server.assign_group("a1", "pair_a");
+  server.assign_group("a2", "pair_a");
+  server.assign_group("b1", "pair_b");
+  EXPECT_EQ(server.group_of("a1"), "pair_a");
+  EXPECT_EQ(server.group_of("ghost"), "");
+  EXPECT_EQ(server.group_members("pair_a"),
+            (std::vector<std::string>{"a1", "a2"}));
+  EXPECT_EQ(server.groups(),
+            (std::vector<std::string>{"pair_a", "pair_b"}));
+  // Reassignment moves, empty removes.
+  server.assign_group("a2", "pair_b");
+  EXPECT_EQ(server.group_members("pair_a"),
+            (std::vector<std::string>{"a1"}));
+  server.assign_group("a1", "");
+  EXPECT_EQ(server.group_of("a1"), "");
+  EXPECT_TRUE(server.group_members("pair_a").empty());
+}
+
 TEST(SyncServer, EndToEndKeepsStationsInLockstep) {
   // Both stations apply the min rule, so dGPS schedules match even though
   // their batteries differ.

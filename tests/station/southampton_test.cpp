@@ -67,6 +67,70 @@ TEST(Southampton, UpdateQueueAndBeacons) {
   EXPECT_TRUE(server.beacons()[0].beacon.verified);
 }
 
+TEST(Southampton, QueriesForUnknownStationsNeverGrowLedgers) {
+  // Regression: fetch_special/fetch_update/fetch_config_update used to
+  // materialise an empty deque per unknown name via operator[], so a fleet
+  // of askers made the maps grow on the *read* path.
+  SouthamptonServer server;
+  server.queue_special("base", {.id = "s1", .script = "df -h"});
+  server.queue_update("base", core::UpdatePackage{});
+  core::ConfigUpdate update;
+  update.version = 1;
+  update.seal();
+  server.queue_config_update("base", update);
+  EXPECT_EQ(server.special_queue_count(), 1u);
+  EXPECT_EQ(server.update_queue_count(), 1u);
+  EXPECT_EQ(server.config_update_queue_count(), 1u);
+
+  for (int i = 0; i < 100; ++i) {
+    const std::string ghost = "ghost" + std::to_string(i);
+    EXPECT_FALSE(server.fetch_special(ghost).has_value());
+    EXPECT_FALSE(server.fetch_update(ghost).has_value());
+    EXPECT_FALSE(server.fetch_config_update(ghost).has_value());
+  }
+  EXPECT_EQ(server.special_queue_count(), 1u);
+  EXPECT_EQ(server.update_queue_count(), 1u);
+  EXPECT_EQ(server.config_update_queue_count(), 1u);
+  // The queued work is still there.
+  EXPECT_EQ(server.fetch_special("base")->id, "s1");
+}
+
+TEST(Southampton, ReceivedWindowCapsLedgerButTotalsStayExact) {
+  SouthamptonServer server;
+  server.set_received_window(4);
+  for (int i = 0; i < 10; ++i) {
+    const std::string station = (i % 2 == 0) ? "base" : "reference";
+    server.receive_file(station, "f" + std::to_string(i), 10_KiB,
+                        sim::SimTime{std::int64_t(i) * 1000});
+  }
+  // Only the newest 4 receipts are retained...
+  ASSERT_EQ(server.received().size(), 4u);
+  EXPECT_EQ(server.received().front().name, "f6");
+  EXPECT_EQ(server.received().back().name, "f9");
+  // ...but the per-station counters saw every file.
+  EXPECT_EQ(server.files_from("base"), 5);
+  EXPECT_EQ(server.files_from("reference"), 5);
+  EXPECT_EQ(server.files_received(), 10u);
+  EXPECT_EQ(server.bytes_from("base"), 50_KiB);
+
+  // Shrinking the window trims immediately; totals are untouched.
+  server.set_received_window(2);
+  EXPECT_EQ(server.received().size(), 2u);
+  EXPECT_EQ(server.files_received(), 10u);
+}
+
+TEST(Southampton, UnboundedWindowKeepsEveryReceipt) {
+  SouthamptonServer server;
+  for (int i = 0; i < 50; ++i) {
+    server.receive_file("base", "f" + std::to_string(i), 1_KiB,
+                        sim::SimTime{std::int64_t(i)});
+  }
+  EXPECT_EQ(server.received_window(), 0u);
+  EXPECT_EQ(server.received().size(), 50u);
+  EXPECT_EQ(std::uint64_t(server.files_from("base")),
+            server.files_received());
+}
+
 TEST(Southampton, SyncLedgerAccessible) {
   SouthamptonServer server;
   server.sync().report_state("base", core::PowerState::kState3);

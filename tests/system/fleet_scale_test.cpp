@@ -1,0 +1,114 @@
+// Fleet-scale determinism: the acceptance gate for the fleet refactor. A
+// sweep of fleet seasons (2 / 8 / 64 stations) dispatched through the
+// MonteCarloRunner must render byte-identical exports at 1, 2, and 8
+// threads — the same guarantee the runner determinism tests pin for
+// synthetic trials, proven here against full Fleet worlds and the rollup
+// gauges bench_fleet_scale exports.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "runner/monte_carlo_runner.h"
+#include "station/fleet.h"
+
+namespace gw {
+namespace {
+
+constexpr int kDays = 5;
+const std::vector<int> kSizes{2, 8, 64};
+
+struct SeasonSummary {
+  int stations = 0;
+  int convergence_lag_days = -1;  // first day every group was converged
+  int diverged_group_days = 0;    // sum over days of non-converged groups
+  std::uint64_t events = 0;
+  double yield_bytes = 0.0;
+  double stations_up = 0.0;
+  double groups_total = 0.0;
+  double groups_converged = 0.0;
+  double probes_alive = 0.0;
+};
+
+// One fleet season, built from nothing but its size (the runner's usage
+// contract: all state derives from the trial input).
+SeasonSummary run_season(int stations) {
+  station::Fleet fleet{
+      station::uniform_fleet_config(stations, 5150u + std::uint64_t(stations))};
+  SeasonSummary summary;
+  summary.stations = stations;
+  for (int day = 1; day <= kDays; ++day) {
+    fleet.run_days(1.0);
+    auto& rollup = fleet.update_rollup();
+    const double total = rollup.gauge_value("fleet", "groups_total");
+    const double converged = rollup.gauge_value("fleet", "groups_converged");
+    if (summary.convergence_lag_days < 0 && converged == total) {
+      summary.convergence_lag_days = day;
+    }
+    summary.diverged_group_days += int(total - converged);
+  }
+  summary.events = fleet.simulation().events_executed();
+  auto& rollup = fleet.rollup_metrics();
+  summary.yield_bytes = rollup.gauge_value("fleet", "yield_bytes");
+  summary.stations_up = rollup.gauge_value("fleet", "stations_up");
+  summary.groups_total = rollup.gauge_value("fleet", "groups_total");
+  summary.groups_converged = rollup.gauge_value("fleet", "groups_converged");
+  summary.probes_alive = rollup.gauge_value("fleet", "probes_alive");
+  return summary;
+}
+
+// Renders the whole sweep as one glacsweb.bench.v1 string — the comparison
+// unit for the thread-count gate.
+std::string render_sweep(unsigned threads) {
+  runner::MonteCarloRunner pool{threads};
+  const auto results =
+      pool.run(kSizes.size(),
+               [](std::size_t trial) { return run_season(kSizes[trial]); });
+  obs::MetricsRegistry registry;
+  for (const auto& summary : results) {
+    char component[8];
+    std::snprintf(component, sizeof component, "n%03d", summary.stations);
+    auto set = [&](const char* name, double value) {
+      registry.gauge(component, name).set(value);
+    };
+    set("convergence_lag_days", double(summary.convergence_lag_days));
+    set("diverged_group_days", double(summary.diverged_group_days));
+    set("sim_events", double(summary.events));
+    set("yield_bytes", summary.yield_bytes);
+    set("stations_up", summary.stations_up);
+    set("groups_converged", summary.groups_converged);
+    set("probes_alive", summary.probes_alive);
+  }
+  obs::BenchReport report;
+  report.bench = "fleet_scale_probe";
+  report.meta = {{"days", std::to_string(kDays)}, {"sizes", "2,8,64"}};
+  report.sections = {{"sweep", &registry, nullptr}};
+  return obs::to_json(report);
+}
+
+TEST(FleetScale, ExportsAreByteIdenticalAcrossThreadCounts) {
+  const std::string serial = render_sweep(1);
+  EXPECT_EQ(serial, render_sweep(2));
+  EXPECT_EQ(serial, render_sweep(8));
+  EXPECT_EQ(serial.find("{\"schema\":\"glacsweb.bench.v1\""), 0u);
+}
+
+TEST(FleetScale, SixtyFourStationSeasonBehaves) {
+  const auto summary = run_season(64);
+  // Every pair starts deliberately diverged (state 3 vs 2); the §III
+  // min-rule must pull all 32 groups into lockstep within the season.
+  EXPECT_EQ(summary.groups_total, 32.0);
+  EXPECT_EQ(summary.groups_converged, 32.0);
+  EXPECT_GE(summary.convergence_lag_days, 1);
+  EXPECT_LE(summary.convergence_lag_days, kDays);
+  EXPECT_EQ(summary.stations_up, 64.0);
+  EXPECT_EQ(summary.probes_alive, 64.0);  // 32 base-role stations x 2
+  EXPECT_GT(summary.yield_bytes, 0.0);
+}
+
+}  // namespace
+}  // namespace gw

@@ -1,12 +1,63 @@
 // Shape-stability sweeps: the figure-level shapes the paper reports must
 // hold across seeds, not just for the bench's seed. These are the
-// regression guards for model recalibrations.
+// regression guards for model recalibrations — plus the fleet-refactor
+// guard: the two-station Deployment preset must keep exporting the exact
+// bytes the hand-wired pre-fleet assembly produced.
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "env/environment.h"
+#include "obs/export.h"
+#include "sim/trace_export.h"
+#include "station/deployment.h"
 
 namespace gw {
 namespace {
+
+// Renders the full observable surface of a two-station run — per-station
+// metrics + journals, fault sinks, and the Fig 5/6 trace series — as one
+// deterministic JSON string.
+std::string render_two_station_export(station::Fleet& fleet,
+                                      std::uint64_t seed) {
+  obs::BenchReport report;
+  report.bench = "shape_probe";
+  report.meta = {{"seed", std::to_string(seed)}};
+  report.sections = {
+      {"base", &fleet.station(0).metrics(), &fleet.station(0).journal()},
+      {"reference", &fleet.station(1).metrics(),
+       &fleet.station(1).journal()},
+      {"fault", &fleet.fault_metrics(), &fleet.fault_journal()}};
+  report.series = sim::to_obs_series(
+      fleet.trace(), {"base.voltage", "base.state", "base.soc",
+                      "reference.voltage", "reference.state",
+                      "probe21.conductivity", "probe24.conductivity"});
+  return obs::to_json(report);
+}
+
+TEST(FleetRefactor, DeploymentPresetExportsMatchEquivalentFleet) {
+  // The refactor contract: Deployment is *nothing but* a FleetConfig
+  // preset. Running the preset through Deployment and running its
+  // to_fleet_config() through a bare Fleet must yield byte-identical
+  // trace/metrics/journal exports — legacy probe naming included.
+  station::DeploymentConfig config;
+  config.seed = 20081019;
+  config.fault_spec =
+      "gprs_outage start=5d duration=2d severity=1.0\n"
+      "server_down start=9d duration=12h\n";
+  station::Deployment deployment{config};
+  station::Fleet fleet{config.to_fleet_config()};
+  deployment.run_days(20.0);
+  fleet.run_days(20.0);
+  const std::string via_preset =
+      render_two_station_export(deployment.fleet(), config.seed);
+  const std::string via_fleet = render_two_station_export(fleet, config.seed);
+  EXPECT_EQ(via_preset, via_fleet);
+  EXPECT_EQ(via_preset.find("{\"schema\":\"glacsweb.bench.v1\""), 0u);
+  // The legacy namespace survived: bare probe ids, no station prefix.
+  EXPECT_TRUE(deployment.trace().has_series("probe21.conductivity"));
+  EXPECT_FALSE(deployment.trace().has_series("base/probe21.conductivity"));
+}
 
 class ShapeSeeds : public ::testing::TestWithParam<std::uint64_t> {};
 
