@@ -86,6 +86,8 @@ AblationResult run_winter_station(bool enabled) {
   station::Deployment deployment{config};
   deployment.run_days(120.0);  // through late May: melt onset included
 
+  // gwlint: allow(banned-api): opt-in debug printout gate; never touches
+  // simulated behaviour or exports
   if (std::getenv("GW_PRIORITY_DEBUG") != nullptr) {
     std::printf(
         "  [debug] delivered=%zu urgent_batches=%d brown_outs=%d runs=%d\n",

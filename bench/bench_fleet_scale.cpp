@@ -48,6 +48,8 @@ struct ScalePoint {
 // vs state 2, full vs 70 % battery), so convergence lag measures real
 // min-rule work, not an already-settled fleet.
 ScalePoint run_point(int stations) {
+  // gwlint: allow(banned-api): wall-clock sweep timing feeds wall_seconds,
+  // a host_dependent field excluded from the determinism diff
   const auto wall_start = std::chrono::steady_clock::now();
   station::Fleet fleet{station::uniform_fleet_config(
       stations, kSeedBase + std::uint64_t(stations))};
@@ -70,6 +72,8 @@ ScalePoint run_point(int stations) {
   point.groups_total = rollup.gauge_value("fleet", "groups_total");
   point.groups_converged = rollup.gauge_value("fleet", "groups_converged");
   point.probes_alive = rollup.gauge_value("fleet", "probes_alive");
+  // gwlint: allow(banned-api): wall-clock sweep timing feeds wall_seconds,
+  // a host_dependent field excluded from the determinism diff
   point.wall_seconds = std::chrono::duration<double>(
                            std::chrono::steady_clock::now() - wall_start)
                            .count();

@@ -45,6 +45,8 @@ void run() {
   const util::Rng bench_rng{2008};
 
   runner::MonteCarloRunner pool{bench::thread_count()};
+  // gwlint: allow(banned-api): wall-clock trial timing, exported as
+  // host_dependent bench metadata only
   const auto wall_start = std::chrono::steady_clock::now();
   const std::vector<TrialOutcome> outcomes =
       pool.run(kTrials, [&](std::size_t trial) {
@@ -76,6 +78,8 @@ void run() {
         return outcome;
       });
   const double wall_seconds =
+      // gwlint: allow(banned-api): wall-clock trial timing, exported as
+      // host_dependent bench metadata only
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)
           .count();

@@ -28,6 +28,8 @@
 namespace gw {
 namespace {
 
+// gwlint: allow(banned-api): wall-clock throughput timing is this bench's
+// purpose; results are exported under host_dependent metadata
 using Clock = std::chrono::steady_clock;
 
 double seconds_since(Clock::time_point start) {

@@ -2,8 +2,8 @@
 # Repo hygiene checks, runnable standalone or as the `repo_check` ctest:
 #
 #   1. clang-format --dry-run -Werror over src/ tests/ bench/ examples/
-#      (skipped with a notice when clang-format is not installed — the
-#      build container does not ship it);
+#      tools/ (skipped with a notice when clang-format is not installed —
+#      the build container does not ship it);
 #   2. documentation link/anchor check over docs/*.md and README.md:
 #      every relative file link must resolve, every intra-doc #anchor must
 #      match a heading in the target file (needs python3, also gated);
@@ -26,7 +26,16 @@
 #      default pool — and diffs the two BENCH_fleet_scale.json exports
 #      byte-for-byte. Any difference means parallelism leaked into the
 #      results and fails the check. Leaves the export in the repo root;
-#      disabled together with leg 5 via GW_CHECK_BENCH=0.
+#      disabled together with leg 5 via GW_CHECK_BENCH=0;
+#   7. gwlint (always-on once built — it compiles with the repo): the
+#      project's own analyzer (tools/gwlint) over src/ bench/ tests/
+#      examples/ tools/ — determinism bans (wall clocks, ambient entropy,
+#      getenv), layer-DAG enforcement against tools/gwlint/layers.toml,
+#      unordered-container iteration, header hygiene. Rule catalog and
+#      suppression policy: docs/STATIC_ANALYSIS.md;
+#   8. clang-tidy over the compilation database exported by CMake
+#      (build/compile_commands.json, curated checks in .clang-tidy) —
+#      gated on clang-tidy being installed, like the clang-format leg.
 #
 # Exits non-zero on any real failure; missing tools skip their check.
 set -u
@@ -38,8 +47,9 @@ failures=0
 
 # --- 1. formatting --------------------------------------------------------
 if command -v clang-format >/dev/null 2>&1; then
-  echo "== clang-format --dry-run -Werror (src tests bench examples)"
-  files=$(find src tests bench examples -name '*.h' -o -name '*.cpp' | sort)
+  echo "== clang-format --dry-run -Werror (src tests bench examples tools)"
+  files=$(find src tests bench examples tools \
+            -name '*.h' -o -name '*.cpp' | sort)
   if ! clang-format --dry-run -Werror $files; then
     echo "FAIL: formatting (run clang-format -i on the files above)"
     failures=$((failures + 1))
@@ -185,6 +195,39 @@ if [ "${GW_CHECK_BENCH:-1}" = "1" ]; then
   fi
 else
   echo "skip: fleet determinism gate (GW_CHECK_BENCH=0)"
+fi
+
+# --- 7. gwlint -------------------------------------------------------------
+if [ -x build/tools/gwlint ]; then
+  echo "== gwlint (determinism + layering + hygiene rules)"
+  if ./build/tools/gwlint --root . --config tools/gwlint/layers.toml \
+       src bench tests examples tools; then
+    echo "ok: gwlint clean"
+  else
+    echo "FAIL: gwlint (see diagnostics above; docs/STATIC_ANALYSIS.md" \
+         "for the rule catalog and suppression policy)"
+    failures=$((failures + 1))
+  fi
+else
+  echo "skip: gwlint not built (build the default tree first)"
+fi
+
+# --- 8. clang-tidy ---------------------------------------------------------
+if command -v clang-tidy >/dev/null 2>&1; then
+  if [ -f build/compile_commands.json ]; then
+    echo "== clang-tidy (curated checks from .clang-tidy, src/ TUs)"
+    tidy_files=$(find src -name '*.cpp' | sort)
+    if clang-tidy -p build --quiet $tidy_files; then
+      echo "ok: clang-tidy clean"
+    else
+      echo "FAIL: clang-tidy"
+      failures=$((failures + 1))
+    fi
+  else
+    echo "skip: build/compile_commands.json missing (configure the build)"
+  fi
+else
+  echo "skip: clang-tidy not installed"
 fi
 
 if [ "$failures" -ne 0 ]; then

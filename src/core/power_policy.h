@@ -16,26 +16,17 @@
 #include <optional>
 #include <vector>
 
+#include "power/power_state.h"
 #include "util/units.h"
 
 namespace gw::core {
 
-enum class PowerState : int {
-  kState0 = 0,  // survival: no communications at all
-  kState1 = 1,
-  kState2 = 2,
-  kState3 = 3,
-};
-
-[[nodiscard]] constexpr int to_int(PowerState state) {
-  return static_cast<int>(state);
-}
-
-[[nodiscard]] constexpr PowerState from_int(int value) {
-  if (value <= 0) return PowerState::kState0;
-  if (value >= 3) return PowerState::kState3;
-  return static_cast<PowerState>(value);
-}
+// The state enum itself is shared vocabulary and lives one layer down
+// (power/power_state.h) so the wire codec can name states without reaching
+// up into core. Aliased here: `core::PowerState` stays valid everywhere.
+using power::from_int;
+using power::PowerState;
+using power::to_int;
 
 struct StateActions {
   bool probe_jobs = true;       // always attempted (Table 2)

@@ -21,7 +21,6 @@
 #include <span>
 #include <vector>
 
-#include "core/schedule.h"
 #include "hw/msp430.h"
 #include "util/result.h"
 #include "util/rng.h"
@@ -59,12 +58,18 @@ class GumsenseBus {
   }
 
   // Writes a serialised schedule image; the MSP parses and installs it.
-  util::Status set_schedule(const core::DaySchedule& schedule) {
+  //
+  // Templated on the schedule type (in practice core::DaySchedule) rather
+  // than naming it: the bus is a dumb transport one layer *below* the
+  // schedule's owner, so it must not include core headers — it only needs
+  // "serialises to an image, parses back with CRC, exposes wake_time".
+  template <typename Schedule>
+  util::Status set_schedule(const Schedule& schedule) {
     if (!transact(BusCommand::kSetSchedule)) {
       return util::Status::failure("i2c: set_schedule NAK");
     }
     const auto image = schedule.serialize();
-    const auto parsed = core::DaySchedule::parse(image);
+    const auto parsed = Schedule::parse(image);
     if (!parsed.ok()) {
       return util::Status::failure("i2c: schedule image rejected: " +
                                    parsed.error().message);

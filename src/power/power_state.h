@@ -1,0 +1,29 @@
+// The four Table 2 power states, as shared vocabulary.
+//
+// The enum lives in the power layer — below the protocol and policy layers —
+// because both need to *name* the states: core's PowerPolicy maps voltages
+// onto them (Table 2) and proto's control-plane messages carry them over the
+// wire (§VI). Keeping the type here keeps the layer DAG pointing downward;
+// the policy that chooses between states stays in core/power_policy.h.
+#pragma once
+
+namespace gw::power {
+
+enum class PowerState : int {
+  kState0 = 0,  // survival: no communications at all
+  kState1 = 1,
+  kState2 = 2,
+  kState3 = 3,
+};
+
+[[nodiscard]] constexpr int to_int(PowerState state) {
+  return static_cast<int>(state);
+}
+
+[[nodiscard]] constexpr PowerState from_int(int value) {
+  if (value <= 0) return PowerState::kState0;
+  if (value >= 3) return PowerState::kState3;
+  return static_cast<PowerState>(value);
+}
+
+}  // namespace gw::power

@@ -55,7 +55,7 @@ std::string StateReport::encode() const {
   Form form;
   form.set("msg", "state_report");
   form.set("station", station);
-  form.set_int("state", core::to_int(state));
+  form.set_int("state", power::to_int(state));
   form.set_int("rtc_ms", day_ms);
   return form.encode();
 }
@@ -74,7 +74,7 @@ util::Result<StateReport> StateReport::decode(const std::string& wire) {
   }
   StateReport report;
   report.station = *station;
-  report.state = core::from_int(int(*state));
+  report.state = power::from_int(int(*state));
   report.day_ms = *rtc;
   return report;
 }
@@ -108,7 +108,7 @@ std::string OverrideResponse::encode() const {
   Form form;
   form.set("msg", "override_response");
   form.set_int("has", has_override ? 1 : 0);
-  form.set_int("state", core::to_int(state));
+  form.set_int("state", power::to_int(state));
   return form.encode();
 }
 
@@ -126,7 +126,7 @@ util::Result<OverrideResponse> OverrideResponse::decode(
   }
   OverrideResponse response;
   response.has_override = *has != 0;
-  response.state = core::from_int(int(*state));
+  response.state = power::from_int(int(*state));
   return response;
 }
 

@@ -14,7 +14,7 @@
 #include <optional>
 #include <string>
 
-#include "core/power_policy.h"
+#include "power/power_state.h"
 #include "util/result.h"
 #include "util/units.h"
 
@@ -65,7 +65,7 @@ class Form {
 
 struct StateReport {
   std::string station;
-  core::PowerState state = core::PowerState::kState0;
+  power::PowerState state = power::PowerState::kState0;
   std::int64_t day_ms = 0;  // station RTC at report time
 
   [[nodiscard]] std::string encode() const;
@@ -82,7 +82,7 @@ struct OverrideRequest {
 
 struct OverrideResponse {
   bool has_override = false;
-  core::PowerState state = core::PowerState::kState3;
+  power::PowerState state = power::PowerState::kState3;
   [[nodiscard]] std::string encode() const;
   [[nodiscard]] static util::Result<OverrideResponse> decode(
       const std::string& wire);

@@ -1,0 +1,326 @@
+// gwlint's own test suite: fixture snippets that must trip each rule,
+// suppression-comment handling, config validation (including cycle
+// rejection), and deterministic diagnostic ordering. The companion
+// `repo_lint` ctest asserts the real tree is clean; these tests assert the
+// rules would actually notice if it were not.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace gw::lint {
+namespace {
+
+// A miniature of the real layer DAG, enough for the layering fixtures.
+constexpr const char* kConfigText = R"(
+[layers]
+util = []
+obs = ["util"]
+sim = ["obs"]
+station = ["sim"]
+
+[allow.banned-api]
+files = ["bench/bench_util.h"]
+)";
+
+const Config& test_config() {
+  static const Config config = parse_config(kConfigText);
+  return config;
+}
+
+std::string read_fixture(const std::string& name) {
+  const std::string path = std::string(GW_GWLINT_FIXTURE_DIR) + "/" + name;
+  std::ifstream stream(path);
+  EXPECT_TRUE(stream.good()) << "missing fixture " << path;
+  std::stringstream content;
+  content << stream.rdbuf();
+  return content.str();
+}
+
+std::vector<Diagnostic> lint_fixture(const std::string& name,
+                                     const std::string& pretend_path) {
+  return lint_file(pretend_path, read_fixture(name), test_config());
+}
+
+std::vector<std::string> ids(const std::vector<Diagnostic>& diagnostics) {
+  std::vector<std::string> out;
+  for (const auto& d : diagnostics) out.push_back(d.id);
+  return out;
+}
+
+// --- GW001: banned APIs ---------------------------------------------------
+
+TEST(GwlintBannedApi, RandomDeviceTrips) {
+  const auto diagnostics =
+      lint_fixture("banned_random_device.inc", "src/util/bad.h");
+  ASSERT_EQ(diagnostics.size(), 1u);
+  EXPECT_EQ(diagnostics[0].id, "GW001");
+  EXPECT_EQ(diagnostics[0].rule, "banned-api");
+  EXPECT_EQ(diagnostics[0].line, 7);
+}
+
+TEST(GwlintBannedApi, WallClocksTripMemberTimeDoesNot) {
+  const auto diagnostics =
+      lint_fixture("banned_wall_clock.inc", "src/util/bad.h");
+  ASSERT_EQ(diagnostics.size(), 5u);
+  const std::vector<int> lines = {diagnostics[0].line, diagnostics[1].line,
+                                  diagnostics[2].line, diagnostics[3].line,
+                                  diagnostics[4].line};
+  EXPECT_EQ(lines, (std::vector<int>{8, 9, 10, 11, 12}));
+  for (const auto& d : diagnostics) EXPECT_EQ(d.id, "GW001");
+}
+
+TEST(GwlintBannedApi, GetenvAndRandTrip) {
+  const auto diagnostics =
+      lint_fixture("banned_getenv_rand.inc", "src/util/bad.h");
+  ASSERT_EQ(diagnostics.size(), 3u);
+  EXPECT_EQ(diagnostics[0].line, 7);  // getenv
+  EXPECT_EQ(diagnostics[1].line, 8);  // rand()
+  EXPECT_EQ(diagnostics[2].line, 9);  // srand
+}
+
+TEST(GwlintBannedApi, ConfigFileAllowlistSilencesWholeFile) {
+  const auto diagnostics =
+      lint_file("bench/bench_util.h", read_fixture("banned_getenv_rand.inc"),
+                test_config());
+  EXPECT_TRUE(diagnostics.empty());
+}
+
+// --- GW002: unordered iteration -------------------------------------------
+
+TEST(GwlintUnordered, RangeForOverMemberTrips) {
+  const auto diagnostics =
+      lint_fixture("unordered_range_for.inc", "src/obs/export_helper.h");
+  ASSERT_EQ(diagnostics.size(), 1u);
+  EXPECT_EQ(diagnostics[0].id, "GW002");
+  EXPECT_EQ(diagnostics[0].line, 14);
+}
+
+TEST(GwlintUnordered, IteratorLoopThroughAliasTrips) {
+  const auto diagnostics =
+      lint_fixture("unordered_iterator.inc", "src/obs/tags.h");
+  ASSERT_EQ(diagnostics.size(), 1u);
+  EXPECT_EQ(diagnostics[0].id, "GW002");
+  EXPECT_EQ(diagnostics[0].line, 12);
+}
+
+TEST(GwlintUnordered, RuleOnlyAppliesUnderSrcAndBench) {
+  EXPECT_TRUE(
+      lint_fixture("unordered_range_for.inc", "tests/obs/helper.h").empty());
+  EXPECT_EQ(
+      lint_fixture("unordered_range_for.inc", "bench/helper.h").size(), 1u);
+}
+
+// --- GW003: layering ------------------------------------------------------
+
+TEST(GwlintLayering, UpwardAndUndeclaredIncludesTrip) {
+  const auto diagnostics =
+      lint_fixture("layering_upward.inc", "src/util/bad.h");
+  ASSERT_EQ(diagnostics.size(), 2u);
+  EXPECT_EQ(diagnostics[0].id, "GW003");
+  EXPECT_EQ(diagnostics[0].line, 5);  // station/ from util/: upward
+  EXPECT_EQ(diagnostics[1].line, 6);  // nonesuch/: undeclared
+  EXPECT_NE(diagnostics[0].message.find("upward"), std::string::npos);
+  EXPECT_NE(diagnostics[1].message.find("undeclared"), std::string::npos);
+}
+
+TEST(GwlintLayering, DownwardIncludeIsFine) {
+  const Config& config = test_config();
+  const std::string content =
+      "#pragma once\n#include \"util/units.h\"\n#include \"obs/metrics.h\"\n";
+  EXPECT_TRUE(lint_file("src/sim/fine.h", content, config).empty());
+}
+
+TEST(GwlintLayering, TransitiveClosureAllowsSkippingLevels) {
+  // station declares only sim as a direct dep; util comes via the closure.
+  const std::string content = "#pragma once\n#include \"util/units.h\"\n";
+  EXPECT_TRUE(
+      lint_file("src/station/fine.h", content, test_config()).empty());
+}
+
+TEST(GwlintLayering, UndeclaredSourceLayerTrips) {
+  const std::string content = "#pragma once\nint x;\n";
+  const auto diagnostics =
+      lint_file("src/mystery/thing.h", content, test_config());
+  ASSERT_EQ(diagnostics.size(), 1u);
+  EXPECT_EQ(diagnostics[0].id, "GW003");
+}
+
+// --- GW004: pragma once ---------------------------------------------------
+
+TEST(GwlintPragmaOnce, MissingAndMixedGuardsTrip) {
+  const auto missing =
+      lint_fixture("missing_pragma_once.inc", "src/util/old_guard.h");
+  ASSERT_EQ(missing.size(), 1u);
+  EXPECT_EQ(missing[0].id, "GW004");
+  EXPECT_EQ(missing[0].line, 1);
+
+  const auto mixed = lint_fixture("mixed_guard.inc", "src/util/mixed.h");
+  ASSERT_EQ(mixed.size(), 1u);
+  EXPECT_EQ(mixed[0].id, "GW004");
+  EXPECT_NE(mixed[0].message.find("mixed"), std::string::npos);
+}
+
+TEST(GwlintPragmaOnce, OnlyAppliesToHeaders) {
+  const std::string content = "int main() { return 0; }\n";
+  EXPECT_TRUE(lint_file("src/util/tool.cpp", content, test_config()).empty());
+}
+
+// --- GW005 + suppressions -------------------------------------------------
+
+TEST(GwlintAllows, JustifiedSuppressionsInEveryPositionLintClean) {
+  const auto diagnostics =
+      lint_fixture("clean_suppressed.inc", "src/obs/suppressed.h");
+  EXPECT_TRUE(diagnostics.empty())
+      << format_diagnostic(diagnostics.empty() ? Diagnostic{} : diagnostics[0]);
+}
+
+TEST(GwlintAllows, BadAllowsTripAndDoNotSuppress) {
+  const auto diagnostics = lint_fixture("bad_allow.inc", "src/util/bad.h");
+  // Reasonless allow (GW005) + the getenv it failed to cover (GW001),
+  // unknown rule name (GW005), malformed marker (GW005).
+  const auto got = ids(diagnostics);
+  EXPECT_EQ(got, (std::vector<std::string>{"GW005", "GW001", "GW005",
+                                           "GW005"}));
+}
+
+TEST(GwlintAllows, QuotedAllowSyntaxIsNotASuppression) {
+  // The allow marker inside a string literal must not suppress anything —
+  // and the unjustified text in it must not trip GW005 either.
+  const std::string content =
+      "#pragma once\n"
+      "inline const char* kDoc =\n"
+      "    \"write gwlint: allow(banned-api) with a reason\";\n"
+      "#include <cstdlib>\n"
+      "inline const char* v() { return std::getenv(\"X\"); }\n";
+  const auto diagnostics =
+      lint_file("src/util/doc.h", content, test_config());
+  ASSERT_EQ(diagnostics.size(), 1u);
+  EXPECT_EQ(diagnostics[0].id, "GW001");
+}
+
+// --- clean fixture + determinism ------------------------------------------
+
+TEST(GwlintClean, IdiomaticCodeLintsClean) {
+  const auto diagnostics =
+      lint_fixture("clean_ok.inc", "src/util/clean_ok.h");
+  EXPECT_TRUE(diagnostics.empty())
+      << format_diagnostic(diagnostics.empty() ? Diagnostic{} : diagnostics[0]);
+}
+
+TEST(GwlintDeterminism, DiagnosticsAreSortedAndStableAcrossRuns) {
+  // One file that trips several rules at interleaved lines.
+  const std::string content = read_fixture("banned_wall_clock.inc") +
+                              read_fixture("banned_getenv_rand.inc");
+  const auto first = lint_file("src/util/multi.h", content, test_config());
+  const auto second = lint_file("src/util/multi.h", content, test_config());
+  EXPECT_EQ(first, second);
+  ASSERT_GT(first.size(), 2u);
+  for (std::size_t i = 1; i < first.size(); ++i) {
+    EXPECT_LE(first[i - 1].line, first[i].line);
+  }
+}
+
+TEST(GwlintDeterminism, SortIsTotalOrderIndependentOfInputOrder) {
+  std::vector<Diagnostic> diagnostics = {
+      {"b.h", 3, "GW001", "banned-api", "x"},
+      {"a.h", 9, "GW004", "pragma-once", "y"},
+      {"a.h", 9, "GW001", "banned-api", "z"},
+      {"a.h", 2, "GW003", "layering", "w"},
+  };
+  std::mt19937 gen{1234};  // test-only shuffle; gwlint itself bans this
+  for (int round = 0; round < 8; ++round) {
+    std::shuffle(diagnostics.begin(), diagnostics.end(), gen);
+    auto sorted = diagnostics;
+    sort_diagnostics(sorted);
+    EXPECT_EQ(sorted[0].file, "a.h");
+    EXPECT_EQ(sorted[0].line, 2);
+    EXPECT_EQ(sorted[1].line, 9);
+    EXPECT_EQ(sorted[1].id, "GW001");
+    EXPECT_EQ(sorted[2].id, "GW004");
+    EXPECT_EQ(sorted[3].file, "b.h");
+  }
+}
+
+TEST(GwlintFormat, DiagnosticRendersFileLineRule) {
+  const Diagnostic d{"src/obs/export.cpp", 42, "GW002",
+                     "unordered-iteration", "loop over unordered map"};
+  EXPECT_EQ(format_diagnostic(d),
+            "src/obs/export.cpp:42: [GW002/unordered-iteration] loop over "
+            "unordered map");
+}
+
+// --- config parsing -------------------------------------------------------
+
+TEST(GwlintConfig, ParsesLayersAndAllowlists) {
+  const Config& config = test_config();
+  ASSERT_TRUE(config.error.empty()) << config.error;
+  EXPECT_EQ(config.layer_deps.size(), 4u);
+  EXPECT_TRUE(config.layer_closure.at("station").count("util") == 1);
+  EXPECT_TRUE(config.allow_files.at("banned-api").count("bench/bench_util.h")
+              == 1);
+}
+
+TEST(GwlintConfig, RejectsCycles) {
+  const Config config = parse_config(
+      "[layers]\na = [\"b\"]\nb = [\"c\"]\nc = [\"a\"]\n");
+  EXPECT_NE(config.error.find("cycle"), std::string::npos) << config.error;
+}
+
+TEST(GwlintConfig, RejectsUndeclaredDependency) {
+  const Config config = parse_config("[layers]\na = [\"ghost\"]\n");
+  EXPECT_NE(config.error.find("undeclared"), std::string::npos);
+}
+
+TEST(GwlintConfig, RejectsUnknownRuleInAllowSection) {
+  const Config config =
+      parse_config("[allow.no-such-rule]\nfiles = [\"x.h\"]\n");
+  EXPECT_FALSE(config.error.empty());
+}
+
+TEST(GwlintConfig, RejectsDuplicateLayer) {
+  const Config config = parse_config("[layers]\na = []\na = []\n");
+  EXPECT_NE(config.error.find("twice"), std::string::npos);
+}
+
+// --- the real config ------------------------------------------------------
+
+TEST(GwlintRealConfig, RepoLayersTomlParsesAndMatchesArchitecture) {
+  std::ifstream stream(std::string(GW_GWLINT_REPO_ROOT) +
+                       "/tools/gwlint/layers.toml");
+  ASSERT_TRUE(stream.good());
+  std::stringstream text;
+  text << stream.rdbuf();
+  const Config config = parse_config(text.str());
+  ASSERT_TRUE(config.error.empty()) << config.error;
+  // The documented chain: util at the bottom, baseline at the top,
+  // runner dependency-free.
+  EXPECT_TRUE(config.layer_closure.at("baseline").count("util") == 1);
+  EXPECT_TRUE(config.layer_closure.at("core").count("proto") == 1);
+  EXPECT_TRUE(config.layer_closure.at("runner").empty());
+  EXPECT_TRUE(config.layer_closure.at("util").empty());
+}
+
+TEST(GwlintStrip, StripperHandlesRawStringsAndEscapes) {
+  const std::string content =
+      "auto s = R\"(getenv inside raw)\";\n"
+      "auto t = \"time(NULL) \\\" quoted\";\n"
+      "char c = '\\'';\n"
+      "int live_code = 1;  // getenv in comment\n";
+  const std::string stripped = strip_comments_and_strings(content);
+  EXPECT_EQ(stripped.find("getenv"), std::string::npos);
+  EXPECT_EQ(stripped.find("time("), std::string::npos);
+  EXPECT_NE(stripped.find("live_code"), std::string::npos);
+  // Line structure is preserved exactly.
+  EXPECT_EQ(std::count(stripped.begin(), stripped.end(), '\n'),
+            std::count(content.begin(), content.end(), '\n'));
+}
+
+}  // namespace
+}  // namespace gw::lint

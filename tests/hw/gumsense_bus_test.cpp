@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/schedule.h"
 #include "env/environment.h"
 
 namespace gw::hw {

@@ -61,12 +61,12 @@ TEST(Form, MissingKeyAndBadIntAreNullopt) {
 TEST(StateReportMsg, RoundTrip) {
   StateReport report;
   report.station = "reference";
-  report.state = core::PowerState::kState1;
+  report.state = power::PowerState::kState1;
   report.day_ms = 1253620800000;
   const auto decoded = StateReport::decode(report.encode());
   ASSERT_TRUE(decoded.ok());
   EXPECT_EQ(decoded.value().station, "reference");
-  EXPECT_EQ(decoded.value().state, core::PowerState::kState1);
+  EXPECT_EQ(decoded.value().state, power::PowerState::kState1);
   EXPECT_EQ(decoded.value().day_ms, 1253620800000);
 }
 
@@ -85,11 +85,11 @@ TEST(OverrideMsgs, RoundTrip) {
 
   OverrideResponse response;
   response.has_override = true;
-  response.state = core::PowerState::kState2;
+  response.state = power::PowerState::kState2;
   const auto decoded = OverrideResponse::decode(response.encode());
   ASSERT_TRUE(decoded.ok());
   EXPECT_TRUE(decoded.value().has_override);
-  EXPECT_EQ(decoded.value().state, core::PowerState::kState2);
+  EXPECT_EQ(decoded.value().state, power::PowerState::kState2);
 }
 
 TEST(OverrideMsgs, NoOverrideCase) {
@@ -117,7 +117,7 @@ TEST(StateReportMsg, StateOutOfRangeClamps) {
   form.set_int("rtc_ms", 0);
   const auto decoded = StateReport::decode(form.encode());
   ASSERT_TRUE(decoded.ok());
-  EXPECT_EQ(decoded.value().state, core::PowerState::kState3);
+  EXPECT_EQ(decoded.value().state, power::PowerState::kState3);
 }
 
 }  // namespace

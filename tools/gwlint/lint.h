@@ -1,0 +1,106 @@
+// gwlint — the repo's own static analyzer.
+//
+// The paper's stations survived a glacier winter because failure modes were
+// designed out, not debugged in the field. This repo's equivalent contract
+// is byte-identical exports across thread counts and platforms — and the
+// cheapest place to defend it is before the code runs. gwlint scans C++
+// sources for the three classes of invariant the test suite can only catch
+// probabilistically:
+//
+//   GW001 banned-api            wall clocks, ambient entropy and environment
+//                               probes (std::random_device, time(), the
+//                               std::chrono clocks, getenv, ...) outside an
+//                               explicit allowlist.
+//   GW002 unordered-iteration   range-for / iterator loops over
+//                               std::unordered_map / std::unordered_set —
+//                               iteration order is unspecified, so anything
+//                               downstream of such a loop can leak host
+//                               nondeterminism into an export.
+//   GW003 layering              #include edges that point *up* the declared
+//                               layer DAG (tools/gwlint/layers.toml), or at
+//                               layers the DAG does not know.
+//   GW004 pragma-once           headers must carry `#pragma once` (the repo
+//                               convention; old-style guards are flagged as
+//                               inconsistent).
+//   GW005 bad-allow             a gwlint allow(<rule>) suppression comment
+//                               that names no known rule or carries no
+//                               justification text.
+//
+// Suppressions are comments of the form "gwlint" + ": allow(<rule>): <one-
+// line justification>" on the offending line or the line directly above it
+// (spelled out indirectly here so this very header does not register one).
+// The justification is mandatory — a bare allow is itself a diagnostic
+// (GW005). Whole-file allowlists (for e.g. bench_util.h's thread-count
+// probe) live in the config, not in code.
+//
+// The library is deliberately self-contained (std only, no gw::util) so the
+// analyzer can never participate in the layer tangles it polices. Policy
+// and usage: docs/STATIC_ANALYSIS.md.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace gw::lint {
+
+// One finding. Formatting and ordering are deterministic: diagnostics sort
+// by (file, line, id, message) and render as
+//   path:line: [GW00N/rule-name] message
+struct Diagnostic {
+  std::string file;  // repo-relative, forward slashes
+  int line = 0;      // 1-based
+  std::string id;    // "GW001"
+  std::string rule;  // "banned-api"
+  std::string message;
+
+  friend bool operator==(const Diagnostic&, const Diagnostic&) = default;
+};
+
+struct RuleInfo {
+  const char* id;
+  const char* name;
+  const char* summary;
+};
+
+// The fixed rule catalog (sorted by id).
+const std::vector<RuleInfo>& rule_catalog();
+
+// Parsed tools/gwlint/layers.toml. `error` is non-empty when the text was
+// malformed or the declared layer graph is not a DAG; no linting should
+// happen with a broken config.
+struct Config {
+  // Declared direct dependencies, layer -> deps (downward edges).
+  std::map<std::string, std::vector<std::string>> layer_deps;
+  // Transitive closure of layer_deps, computed by parse_config.
+  std::map<std::string, std::set<std::string>> layer_closure;
+  // Whole-file allowlists, rule name -> repo-relative paths.
+  std::map<std::string, std::set<std::string>> allow_files;
+  std::string error;
+};
+
+// Parses the config text (a small TOML subset: `[layers]` with
+// `name = ["dep", ...]` entries and `[allow.<rule>]` with
+// `files = ["path", ...]`). Validates that every dependency is a declared
+// layer and that the graph is acyclic.
+Config parse_config(const std::string& text);
+
+// Lints one file. `path` must be repo-relative with forward slashes — rule
+// applicability keys off it (layering and unordered-iteration only fire
+// under src/, GW002 also under bench/ where exports are written).
+std::vector<Diagnostic> lint_file(const std::string& path,
+                                  const std::string& content,
+                                  const Config& config);
+
+// Canonical ordering (file, line, id, message) — apply before printing.
+void sort_diagnostics(std::vector<Diagnostic>& diagnostics);
+
+std::string format_diagnostic(const Diagnostic& diagnostic);
+
+// Replaces comments, string literals and char literals with spaces,
+// preserving length and line structure, so token scans cannot match inside
+// them. Exposed for the unit tests.
+std::string strip_comments_and_strings(const std::string& content);
+
+}  // namespace gw::lint

@@ -1,0 +1,147 @@
+// gwlint CLI — deterministic lint over the repo tree.
+//
+//   gwlint [--root DIR] [--config FILE] [--list-rules] [path...]
+//
+// Paths are repo-relative files or directories (directories are walked
+// recursively for *.h / *.cpp, in sorted order). Default: src. Exit code is
+// 1 when any diagnostic is emitted, 2 on usage/config errors. Output is
+// file:line-sorted and byte-stable across runs and machines — the same
+// contract the exports it protects are held to.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool has_lintable_extension(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".h" || ext == ".cpp";
+}
+
+// Repo-relative path with forward slashes.
+std::string relative_slashes(const fs::path& path, const fs::path& root) {
+  std::string rel = fs::relative(path, root).generic_string();
+  return rel;
+}
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--root DIR] [--config FILE] [--list-rules] [path...]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = fs::current_path();
+  std::string config_path;
+  std::vector<std::string> inputs;
+  bool list_rules = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--config" && i + 1 < argc) {
+      config_path = argv[++i];
+    } else if (arg == "--list-rules") {
+      list_rules = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage(argv[0]);
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+
+  if (list_rules) {
+    for (const auto& rule : gw::lint::rule_catalog()) {
+      std::cout << rule.id << "  " << rule.name << "\n    " << rule.summary
+                << "\n";
+    }
+    return 0;
+  }
+
+  root = fs::absolute(root);
+  if (config_path.empty()) {
+    config_path = (root / "tools/gwlint/layers.toml").string();
+  } else if (fs::path(config_path).is_relative()) {
+    config_path = (root / config_path).string();
+  }
+
+  std::ifstream config_stream(config_path);
+  if (!config_stream) {
+    std::cerr << "gwlint: cannot open config " << config_path << "\n";
+    return 2;
+  }
+  std::stringstream config_text;
+  config_text << config_stream.rdbuf();
+  const gw::lint::Config config = gw::lint::parse_config(config_text.str());
+  if (!config.error.empty()) {
+    std::cerr << "gwlint: bad config " << config_path << ": " << config.error
+              << "\n";
+    return 2;
+  }
+
+  if (inputs.empty()) inputs.push_back("src");
+
+  // Expand inputs to a sorted, de-duplicated file list.
+  std::vector<std::string> files;
+  for (const auto& input : inputs) {
+    const fs::path path =
+        fs::path(input).is_absolute() ? fs::path(input) : root / input;
+    std::error_code ec;
+    if (fs::is_directory(path, ec)) {
+      for (fs::recursive_directory_iterator it(path, ec), end; it != end;
+           it.increment(ec)) {
+        if (ec) break;
+        if (it->is_regular_file() && has_lintable_extension(it->path())) {
+          files.push_back(relative_slashes(it->path(), root));
+        }
+      }
+    } else if (fs::is_regular_file(path, ec)) {
+      files.push_back(relative_slashes(path, root));
+    } else {
+      std::cerr << "gwlint: no such file or directory: " << input << "\n";
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  std::vector<gw::lint::Diagnostic> diagnostics;
+  for (const auto& file : files) {
+    std::ifstream stream(root / file);
+    if (!stream) {
+      std::cerr << "gwlint: cannot read " << file << "\n";
+      return 2;
+    }
+    std::stringstream content;
+    content << stream.rdbuf();
+    auto file_diagnostics = gw::lint::lint_file(file, content.str(), config);
+    diagnostics.insert(diagnostics.end(), file_diagnostics.begin(),
+                       file_diagnostics.end());
+  }
+  gw::lint::sort_diagnostics(diagnostics);
+
+  for (const auto& diagnostic : diagnostics) {
+    std::cout << gw::lint::format_diagnostic(diagnostic) << "\n";
+  }
+  if (!diagnostics.empty()) {
+    std::cout << "gwlint: " << diagnostics.size() << " diagnostic(s) in "
+              << files.size() << " file(s)\n";
+    return 1;
+  }
+  std::cout << "gwlint: " << files.size() << " file(s) clean\n";
+  return 0;
+}
