@@ -16,11 +16,14 @@
 #include <chrono>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.h"
 #include "runner/monte_carlo_runner.h"
+#include "runner/parallel_plan.h"
 #include "station/fleet.h"
+#include "station/sharded_fleet.h"
 #include "util/strings.h"
 
 namespace gw {
@@ -29,6 +32,15 @@ namespace {
 constexpr int kDays = 14;
 constexpr std::uint64_t kSeedBase = 42000;
 const std::vector<int> kSizes{2, 4, 8, 16, 32, 64};
+
+// The sharded points: fleet sizes the serial sweep cannot afford at 14
+// days, run on the ShardedSimulation for fewer days each. Sized so the
+// whole sweep stays a few seconds on one core.
+struct ShardedSize {
+  int stations;
+  int days;
+};
+const std::vector<ShardedSize> kShardedSizes{{256, 2}, {1024, 1}, {4096, 1}};
 
 struct ScalePoint {
   int stations = 0;
@@ -80,6 +92,105 @@ ScalePoint run_point(int stations) {
   return point;
 }
 
+// One sharded season, derived from its sweep entry alone. The shard count
+// is a knob (GW_BENCH_FLEET_SHARDS) precisely because it must not matter:
+// scripts/check.sh byte-diffs the export at 1 shard vs the default.
+ScalePoint run_sharded_point(ShardedSize size, std::size_t shards,
+                             unsigned workers) {
+  // gwlint: allow(banned-api): wall-clock sweep timing feeds wall_seconds,
+  // a host_dependent field excluded from the determinism diff
+  const auto wall_start = std::chrono::steady_clock::now();
+  station::ShardedFleetConfig config;
+  config.fleet = station::uniform_fleet_config(
+      size.stations, kSeedBase + std::uint64_t(size.stations));
+  config.shards = shards;
+  config.workers = workers;
+  station::ShardedFleet fleet{config};
+  ScalePoint point;
+  point.stations = size.stations;
+  for (int day = 1; day <= size.days; ++day) {
+    fleet.run_days(1.0);
+    auto& rollup = fleet.update_rollup();
+    const double total = rollup.gauge_value("fleet", "groups_total");
+    const double converged = rollup.gauge_value("fleet", "groups_converged");
+    if (point.convergence_lag_days < 0 && converged == total) {
+      point.convergence_lag_days = day;
+    }
+    point.diverged_group_days += int(total - converged);
+  }
+  point.sim_events = fleet.events_executed();
+  auto& rollup = fleet.rollup_metrics();
+  point.yield_bytes = rollup.gauge_value("fleet", "yield_bytes");
+  point.stations_up = rollup.gauge_value("fleet", "stations_up");
+  point.groups_total = rollup.gauge_value("fleet", "groups_total");
+  point.groups_converged = rollup.gauge_value("fleet", "groups_converged");
+  point.probes_alive = rollup.gauge_value("fleet", "probes_alive");
+  // gwlint: allow(banned-api): wall-clock sweep timing feeds wall_seconds,
+  // a host_dependent field excluded from the determinism diff
+  point.wall_seconds = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - wall_start)
+                           .count();
+  return point;
+}
+
+// Host-dependent speedup measurement: the 1024-station season at 1, 2,
+// and 4 shard workers. Opt-in (GW_BENCH_FLEET_SPEED=1) and exported as a
+// *separate* BENCH_fleet_scale_speed.json so the deterministic export
+// above stays byte-diffable while this one carries wall-clock numbers.
+void run_speed_section(std::size_t shards) {
+  bench::subheading("sharded speedup (host-dependent, 1024 stations)");
+  const ShardedSize kSpeedSize{1024, 1};
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  obs::MetricsRegistry metrics;
+  bench::row({"Workers", "Wall s", "Speedup vs 1"}, {8, 9, 13});
+  double serial_seconds = 0.0;
+  std::string oversubscribed_counts;
+  for (const unsigned workers : {1u, 2u, 4u}) {
+    const ScalePoint point = run_sharded_point(kSpeedSize, shards, workers);
+    if (workers == 1) serial_seconds = point.wall_seconds;
+    // Same clamp policy as BENCH_throughput: a pool wider than the host
+    // measures oversubscription, not scaling — floor those at 1.0 and say
+    // so in meta rather than exporting a phantom regression.
+    const bool oversubscribed = workers > hw;
+    const double denominator = oversubscribed
+                                   ? std::min(point.wall_seconds,
+                                              serial_seconds)
+                                   : point.wall_seconds;
+    const double speedup =
+        denominator > 0.0 ? serial_seconds / denominator : 1.0;
+    if (oversubscribed) {
+      if (!oversubscribed_counts.empty()) oversubscribed_counts += ",";
+      oversubscribed_counts += std::to_string(workers);
+    }
+    bench::row({std::to_string(workers),
+                util::format_fixed(point.wall_seconds, 2),
+                util::format_fixed(speedup, 2) +
+                    (oversubscribed ? " (oversub)" : "")},
+               {8, 9, 13});
+    const std::string suffix = "_threads_" + std::to_string(workers);
+    metrics.gauge("fleet", "speedup" + suffix).set(speedup);
+    metrics.gauge("fleet", "wall_seconds" + suffix).set(point.wall_seconds);
+  }
+  metrics.gauge("fleet", "hardware_concurrency").set(double(hw));
+  bench::note("byte-identity of the results themselves is gated separately; "
+              "this section only times the same season at different worker "
+              "counts");
+
+  obs::BenchReport report;
+  report.bench = "fleet_scale_speed";
+  report.meta = {{"hardware_concurrency", std::to_string(hw)},
+                 {"host_dependent", "true"},
+                 {"oversubscribed_worker_counts",
+                  oversubscribed_counts.empty() ? "none"
+                                                : oversubscribed_counts},
+                 {"shards", std::to_string(shards)},
+                 {"speedup_policy",
+                  "worker counts wider than the host are clamped to >= 1.0"},
+                 {"workload", "1024 stations, 1 day, sharded fleet"}};
+  report.sections = {{"speed", &metrics, nullptr}};
+  bench::export_report(report);
+}
+
 void run() {
   bench::heading("Fleet scaling: 2 -> 64 stations, " +
                  std::to_string(kDays) + "-day seasons");
@@ -120,10 +231,46 @@ void run() {
   std::printf("  total trial wall-clock %.2f s (pool may overlap trials)\n",
               wall_total);
 
+  // --- sharded points: 256 -> 4096 stations on the window kernel ---------
+  const std::size_t shards = bench::fleet_shards();
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  // One world at a time, so the nested-parallelism plan gives the shard
+  // layer whatever the (absent) trial layer leaves: the whole machine.
+  const unsigned shard_workers =
+      runner::plan_nested(hw, 1, shards).shard_workers;
+  bench::subheading("sharded fleet: 256 -> 4096 stations (" +
+                    std::to_string(shards) + " shards, " +
+                    std::to_string(shard_workers) + " workers)");
+  bench::row({"Stations", "Days", "Converged", "Lag", "Sim ev/stn/day",
+              "Yield KiB/stn", "Wall s"},
+             {8, 5, 10, 6, 14, 13, 8});
+  std::vector<ScalePoint> sharded_points;
+  std::vector<int> sharded_days;
+  for (const ShardedSize size : kShardedSizes) {
+    const ScalePoint point = run_sharded_point(size, shards, shard_workers);
+    sharded_points.push_back(point);
+    sharded_days.push_back(size.days);
+    const double per_station_day =
+        double(point.sim_events) / (double(point.stations) * size.days);
+    bench::row(
+        {std::to_string(point.stations), std::to_string(size.days),
+         util::format_fixed(point.groups_converged, 0) + "/" +
+             util::format_fixed(point.groups_total, 0),
+         point.convergence_lag_days < 0
+             ? "never"
+             : std::to_string(point.convergence_lag_days) + "d",
+         util::format_fixed(per_station_day, 1),
+         util::format_fixed(point.yield_bytes / (1024.0 * point.stations), 1),
+         util::format_fixed(point.wall_seconds, 2)},
+        {8, 5, 10, 6, 14, 13, 8});
+  }
+  bench::note("GW_BENCH_FLEET_SHARDS moves the partition; the exported "
+              "gauges are byte-identical at any shard or worker count "
+              "(scripts/check.sh diffs 1 shard vs default)");
+
   obs::MetricsRegistry registry;
-  for (const auto& point : points) {
-    char component[8];
-    std::snprintf(component, sizeof component, "n%03d", point.stations);
+  const auto export_point = [&registry](const std::string& component,
+                                        const ScalePoint& point, int days) {
     auto set = [&](const char* name, double value) {
       registry.gauge(component, name).set(value);
     };
@@ -132,22 +279,41 @@ void run() {
     set("diverged_group_days", double(point.diverged_group_days));
     set("sim_events", double(point.sim_events));
     set("sim_events_per_station_day",
-        double(point.sim_events) / (double(point.stations) * kDays));
+        double(point.sim_events) / (double(point.stations) * days));
     set("yield_bytes", point.yield_bytes);
     set("yield_bytes_per_station", point.yield_bytes / point.stations);
     set("stations_up", point.stations_up);
     set("groups_total", point.groups_total);
     set("groups_converged", point.groups_converged);
     set("probes_alive", point.probes_alive);
+  };
+  for (const auto& point : points) {
+    char component[8];
+    std::snprintf(component, sizeof component, "n%03d", point.stations);
+    export_point(component, point, kDays);
+  }
+  for (std::size_t i = 0; i < sharded_points.size(); ++i) {
+    char component[8];
+    std::snprintf(component, sizeof component, "s%04d",
+                  sharded_points[i].stations);
+    export_point(component, sharded_points[i], sharded_days[i]);
   }
   obs::BenchReport report;
   report.bench = "fleet_scale";
   report.meta = {{"days", std::to_string(kDays)},
                  {"deterministic", "true"},
                  {"seed_base", std::to_string(kSeedBase)},
+                 {"sharded_sizes", "256x2d,1024x1d,4096x1d"},
                  {"sizes", "2,4,8,16,32,64"}};
   report.sections = {{"sweep", &registry, nullptr}};
   bench::export_report(report);
+
+  if (bench::fleet_speed_enabled()) {
+    run_speed_section(shards);
+  } else {
+    bench::note("set GW_BENCH_FLEET_SPEED=1 for the host-dependent speedup "
+                "section (BENCH_fleet_scale_speed.json)");
+  }
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 // are diffable across PRs.
 #pragma once
 
+#include <cstddef>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -34,6 +35,35 @@ inline unsigned thread_count() {
     return static_cast<unsigned>(parsed);
   }
   return 0;
+}
+
+// Shard count for the sharded fleet points in bench_fleet_scale:
+// GW_BENCH_FLEET_SHARDS pins it (scripts/check.sh diffs the export at 1
+// shard vs this default as the partition-invariance gate); unset or
+// invalid means 4. Like GW_BENCH_THREADS, the knob only changes
+// wall-clock, never a byte of BENCH_fleet_scale.json.
+inline std::size_t fleet_shards() {
+  if (const char* env = std::getenv("GW_BENCH_FLEET_SHARDS")) {
+    char* end = nullptr;
+    const unsigned long parsed = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && parsed > 0) {
+      return std::size_t(parsed);
+    }
+    std::fprintf(stderr,
+                 "[warn] GW_BENCH_FLEET_SHARDS=\"%s\" is not a positive "
+                 "number; using 4\n",
+                 env);
+  }
+  return 4;
+}
+
+// Opt-in switch for the host-dependent fleet speedup measurement
+// (BENCH_fleet_scale_speed.json). Off by default so the default bench run
+// stays cheap and fully deterministic; EXPERIMENTS.md shows the
+// regeneration command.
+inline bool fleet_speed_enabled() {
+  const char* env = std::getenv("GW_BENCH_FLEET_SPEED");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
 }
 
 inline void heading(const std::string& title) {

@@ -4,17 +4,19 @@
 #   1. clang-format --dry-run -Werror over src/ tests/ bench/ examples/
 #      tools/ (skipped with a notice when clang-format is not installed —
 #      the build container does not ship it);
-#   2. documentation link/anchor check over docs/*.md and README.md:
-#      every relative file link must resolve, every intra-doc #anchor must
-#      match a heading in the target file (needs python3, also gated);
+#   2. documentation lint (scripts/doclint.sh, also the `repo_doclint`
+#      ctest): every relative link and #anchor in the repo's markdown must
+#      resolve, and every docs/*.md must be reachable from README.md by
+#      following links (needs python3, also gated);
 #   3. sanitizer leg: with GW_CHECK_SANITIZE=1 in the environment, builds
 #      system_test in a separate build-asan/ dir with -DGW_SANITIZE=address
 #      (ASan+UBSan) and runs the fault soak under it. Off by default —
 #      it is a full extra build — and gated on cmake being available;
-#   4. thread-sanitizer leg: with GW_CHECK_TSAN=1, builds runner_test in a
-#      separate build-tsan/ dir with -DGW_SANITIZE=thread and runs the
-#      Monte Carlo runner tests (pool handoff + determinism) under TSan.
-#      Off by default for the same reason as the ASan leg;
+#   4. thread-sanitizer leg: with GW_CHECK_TSAN=1, builds runner_test and
+#      sim_test in a separate build-tsan/ dir with -DGW_SANITIZE=thread and
+#      runs the Monte Carlo runner tests (pool handoff + determinism) plus
+#      the sharded-kernel tests (window barriers, cross-shard messages)
+#      under TSan. Off by default for the same reason as the ASan leg;
 #   5. performance bench export: when build/bench/bench_throughput and
 #      build/bench/bench_microbench exist (i.e. the default build has run),
 #      runs them and leaves machine-readable results in the repo root as
@@ -22,11 +24,12 @@
 #      BENCH_microbench_raw.json (google-benchmark JSON). Skipped when the
 #      binaries are absent; disable explicitly with GW_CHECK_BENCH=0;
 #   6. fleet determinism gate: when build/bench/bench_fleet_scale exists,
-#      runs the 2 -> 64 station sweep twice — GW_BENCH_THREADS=1 and the
-#      default pool — and diffs the two BENCH_fleet_scale.json exports
-#      byte-for-byte. Any difference means parallelism leaked into the
-#      results and fails the check. Leaves the export in the repo root;
-#      disabled together with leg 5 via GW_CHECK_BENCH=0;
+#      runs the sweep three times — GW_BENCH_THREADS=1, one shard
+#      (GW_BENCH_FLEET_SHARDS=1), and the defaults — and byte-diffs the
+#      three BENCH_fleet_scale.json exports. Any difference means thread
+#      count or partition leaked into the results and fails the check.
+#      Leaves the export in the repo root; disabled together with leg 5
+#      via GW_CHECK_BENCH=0;
 #   7. gwlint (always-on once built — it compiles with the repo): the
 #      project's own analyzer (tools/gwlint) over src/ bench/ tests/
 #      examples/ tools/ — determinism bans (wall clocks, ambient entropy,
@@ -60,61 +63,11 @@ else
   echo "skip: clang-format not installed"
 fi
 
-# --- 2. doc links/anchors -------------------------------------------------
-if command -v python3 >/dev/null 2>&1; then
-  echo "== markdown link/anchor check (docs/*.md README.md)"
-  if ! python3 - docs/*.md README.md <<'PYEOF'; then
-import os
-import re
-import sys
-
-def anchors(path):
-    """GitHub-style anchor slugs for every heading in a markdown file."""
-    slugs = set()
-    in_code = False
-    for line in open(path, encoding="utf-8"):
-        if line.lstrip().startswith("```"):
-            in_code = not in_code
-            continue
-        if in_code:
-            continue
-        m = re.match(r"#{1,6}\s+(.*)", line)
-        if m:
-            text = re.sub(r"[`*_]", "", m.group(1)).strip().lower()
-            slug = re.sub(r"[^\w\- ]", "", text).replace(" ", "-")
-            slugs.add(slug)
-    return slugs
-
-bad = 0
-for doc in sys.argv[1:]:
-    base = os.path.dirname(doc)
-    in_code = False
-    for lineno, line in enumerate(open(doc, encoding="utf-8"), 1):
-        if line.lstrip().startswith("```"):
-            in_code = not in_code
-            continue
-        if in_code:
-            continue
-        for target in re.findall(r"\[[^\]]*\]\(([^)\s]+)\)", line):
-            if target.startswith(("http://", "https://", "mailto:")):
-                continue
-            path, _, frag = target.partition("#")
-            full = os.path.normpath(os.path.join(base, path)) if path else doc
-            if not os.path.exists(full):
-                print(f"{doc}:{lineno}: broken link -> {target}")
-                bad += 1
-            elif frag and full.endswith(".md") and frag not in anchors(full):
-                print(f"{doc}:{lineno}: broken anchor -> {target}")
-                bad += 1
-
-print(f"checked {len(sys.argv) - 1} files, {bad} broken link(s)")
-sys.exit(1 if bad else 0)
-PYEOF
-    echo "FAIL: documentation links"
-    failures=$((failures + 1))
-  fi
-else
-  echo "skip: python3 not installed"
+# --- 2. doclint (links, anchors, reachability) ----------------------------
+echo "== doclint (scripts/doclint.sh: links, anchors, README reachability)"
+if ! scripts/doclint.sh; then
+  echo "FAIL: documentation lint"
+  failures=$((failures + 1))
 fi
 
 # --- 3. sanitizer soak (opt-in: GW_CHECK_SANITIZE=1) ----------------------
@@ -139,13 +92,15 @@ fi
 # --- 4. TSan runner leg (opt-in: GW_CHECK_TSAN=1) -------------------------
 if [ "${GW_CHECK_TSAN:-0}" = "1" ]; then
   if command -v cmake >/dev/null 2>&1; then
-    echo "== TSan Monte Carlo runner tests (build-tsan/)"
+    echo "== TSan runner + sharded kernel tests (build-tsan/)"
     if cmake -B build-tsan -S . -DGW_SANITIZE=thread >/dev/null &&
-       cmake --build build-tsan --target runner_test -j >/dev/null &&
-       ./build-tsan/tests/runner_test; then
-      echo "ok: runner pool + determinism tests clean under TSan"
+       cmake --build build-tsan --target runner_test sim_test -j \
+         >/dev/null &&
+       ./build-tsan/tests/runner_test &&
+       ./build-tsan/tests/sim_test --gtest_filter='Sharded*'; then
+      echo "ok: runner pool + sharded kernel clean under TSan"
     else
-      echo "FAIL: TSan runner tests"
+      echo "FAIL: TSan runner/sharded tests"
       failures=$((failures + 1))
     fi
   else
@@ -178,16 +133,21 @@ fi
 # --- 6. fleet determinism gate --------------------------------------------
 if [ "${GW_CHECK_BENCH:-1}" = "1" ]; then
   if [ -x build/bench/bench_fleet_scale ]; then
-    echo "== fleet scale sweep: 1 thread vs default pool (byte-diff gate)"
+    echo "== fleet scale sweep: 1 thread / 1 shard / defaults (byte-diff gate)"
     if GW_BENCH_THREADS=1 ./build/bench/bench_fleet_scale >/dev/null &&
        mv BENCH_fleet_scale.json BENCH_fleet_scale.1thread.json &&
+       GW_BENCH_FLEET_SHARDS=1 ./build/bench/bench_fleet_scale >/dev/null &&
+       mv BENCH_fleet_scale.json BENCH_fleet_scale.1shard.json &&
        ./build/bench/bench_fleet_scale >/dev/null &&
-       cmp -s BENCH_fleet_scale.json BENCH_fleet_scale.1thread.json; then
-      rm -f BENCH_fleet_scale.1thread.json
-      echo "ok: BENCH_fleet_scale.json byte-identical at 1 vs N threads"
+       cmp -s BENCH_fleet_scale.json BENCH_fleet_scale.1thread.json &&
+       cmp -s BENCH_fleet_scale.json BENCH_fleet_scale.1shard.json; then
+      rm -f BENCH_fleet_scale.1thread.json BENCH_fleet_scale.1shard.json
+      echo "ok: BENCH_fleet_scale.json byte-identical at 1 vs N threads" \
+           "and 1 vs N shards"
     else
-      echo "FAIL: fleet sweep exports differ across thread counts" \
-           "(compare BENCH_fleet_scale.json vs BENCH_fleet_scale.1thread.json)"
+      echo "FAIL: fleet sweep exports differ across thread or shard counts" \
+           "(compare BENCH_fleet_scale.json vs BENCH_fleet_scale.1thread.json" \
+           "/ BENCH_fleet_scale.1shard.json)"
       failures=$((failures + 1))
     fi
   else

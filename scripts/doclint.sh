@@ -1,0 +1,98 @@
+#!/usr/bin/env bash
+# Documentation lint, runnable standalone, as the `repo_doclint` ctest, or
+# as check.sh leg 2. Two checks over the repo's markdown:
+#
+#   1. link/anchor integrity: every relative file link in README.md,
+#      CONTRIBUTING.md, DESIGN.md, EXPERIMENTS.md, ROADMAP.md and
+#      docs/*.md must resolve to a real file, and every #anchor into a
+#      markdown target must match a heading slug in that file;
+#   2. reachability: every docs/*.md must be reachable from README.md by
+#      following relative markdown links — a doc nobody can navigate to is
+#      a doc nobody reads.
+#
+# Diagnostics are printed as "file:line: message", sorted, so output is
+# deterministic and diffable. Needs python3 (skips with a notice when it
+# is missing, like the clang-format leg of check.sh).
+set -u
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo_root"
+
+if ! command -v python3 >/dev/null 2>&1; then
+  echo "skip: python3 not installed (doclint needs it)"
+  exit 0
+fi
+
+python3 - README.md CONTRIBUTING.md DESIGN.md EXPERIMENTS.md ROADMAP.md \
+  docs/*.md <<'PYEOF'
+import os
+import re
+import sys
+
+def anchors(path):
+    """GitHub-style anchor slugs for every heading in a markdown file."""
+    slugs = set()
+    in_code = False
+    for line in open(path, encoding="utf-8"):
+        if line.lstrip().startswith("```"):
+            in_code = not in_code
+            continue
+        if in_code:
+            continue
+        m = re.match(r"#{1,6}\s+(.*)", line)
+        if m:
+            text = re.sub(r"[`*_]", "", m.group(1)).strip().lower()
+            slug = re.sub(r"[^\w\- ]", "", text).replace(" ", "-")
+            slugs.add(slug)
+    return slugs
+
+def links(doc):
+    """(lineno, target) for every markdown link in doc, skipping code."""
+    in_code = False
+    for lineno, line in enumerate(open(doc, encoding="utf-8"), 1):
+        if line.lstrip().startswith("```"):
+            in_code = not in_code
+            continue
+        if in_code:
+            continue
+        for target in re.findall(r"\[[^\]]*\]\(([^)\s]+)\)", line):
+            yield lineno, target
+
+docs = sys.argv[1:]
+diagnostics = []
+
+# --- 1. every relative link resolves, every anchor matches a heading -----
+edges = {doc: set() for doc in docs}
+for doc in docs:
+    base = os.path.dirname(doc)
+    for lineno, target in links(doc):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        path, _, frag = target.partition("#")
+        full = os.path.normpath(os.path.join(base, path)) if path else doc
+        if not os.path.exists(full):
+            diagnostics.append(f"{doc}:{lineno}: broken link -> {target}")
+        elif frag and full.endswith(".md") and frag not in anchors(full):
+            diagnostics.append(f"{doc}:{lineno}: broken anchor -> {target}")
+        elif full in edges:
+            edges[doc].add(full)
+
+# --- 2. every docs/*.md is reachable from README.md ----------------------
+reachable = set()
+frontier = ["README.md"]
+while frontier:
+    doc = frontier.pop()
+    if doc in reachable:
+        continue
+    reachable.add(doc)
+    frontier.extend(edges.get(doc, ()))
+for doc in sorted(docs):
+    if doc.startswith("docs/") and doc not in reachable:
+        diagnostics.append(
+            f"{doc}:1: unreachable from README.md via markdown links")
+
+for diagnostic in sorted(diagnostics):
+    print(diagnostic)
+print(f"doclint: {len(docs)} files, {len(diagnostics)} problem(s)")
+sys.exit(1 if diagnostics else 0)
+PYEOF

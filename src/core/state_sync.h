@@ -74,6 +74,41 @@ class SyncServer {
   void report_state(const std::string& station, PowerState state,
                     sim::SimTime at = sim::kEpoch) {
     latest_[station] = Entry{state, at};
+    if (report_log_enabled_) report_log_.push_back({station, state, at});
+  }
+
+  // --- shard-message access points (sim/sharded_simulation.h) -------------
+  //
+  // A sharded fleet gives every station its own SyncServer replica and
+  // relays fresh reports between replicas as timestamped inter-shard
+  // messages (docs/PARALLELISM.md). The replica-side hooks: an outbound
+  // log of locally made reports (drained at window barriers) and an apply
+  // path that updates the ledger *without* re-logging, so a relayed report
+  // can never echo back across the shard boundary.
+
+  struct ReportRecord {
+    std::string station;
+    PowerState state = PowerState::kState0;
+    sim::SimTime reported_at{};
+  };
+
+  // Off by default: the serial server keeps its zero-overhead ledger.
+  void enable_report_log(bool enabled = true) { report_log_enabled_ = enabled; }
+  [[nodiscard]] bool report_log_enabled() const { return report_log_enabled_; }
+
+  // Moves out everything report_state() logged since the previous drain,
+  // in report order. Always empty while the log is disabled.
+  [[nodiscard]] std::vector<ReportRecord> drain_report_log() {
+    std::vector<ReportRecord> drained;
+    drained.swap(report_log_);
+    return drained;
+  }
+
+  // Applies a report relayed from another replica: same ledger update as
+  // report_state (freshness keeps the *original* report time), no log entry.
+  void record_remote_state(const std::string& station, PowerState state,
+                           sim::SimTime reported_at) {
+    latest_[station] = Entry{state, reported_at};
   }
 
   // --- sync groups --------------------------------------------------------
@@ -209,6 +244,8 @@ class SyncServer {
   }
 
   std::map<std::string, Entry> latest_;
+  bool report_log_enabled_ = false;
+  std::vector<ReportRecord> report_log_;
   std::map<std::string, std::string> group_of_;
   std::map<std::string, PowerState> group_overrides_;
   std::optional<PowerState> manual_override_;

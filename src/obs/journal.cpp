@@ -1,5 +1,8 @@
 #include "obs/journal.h"
 
+#include <algorithm>
+#include <tuple>
+
 namespace gw::obs {
 
 const char* to_string(EventType type) {
@@ -40,6 +43,39 @@ const char* to_string(EventType type) {
       return "group_converged";
   }
   return "unknown";
+}
+
+std::vector<MergedEvent> merge_journals(
+    const std::vector<std::pair<std::string, const EventJournal*>>&
+        journals) {
+  struct Keyed {
+    std::size_t source;  // index into `journals`
+    std::size_t index;   // record index within that journal
+  };
+  std::vector<Keyed> order;
+  std::size_t total = 0;
+  for (const auto& [station, journal] : journals) total += journal->size();
+  order.reserve(total);
+  for (std::size_t source = 0; source < journals.size(); ++source) {
+    for (std::size_t index = 0; index < journals[source].second->size();
+         ++index) {
+      order.push_back(Keyed{source, index});
+    }
+  }
+  const auto key = [&](const Keyed& k) {
+    return std::tie(journals[k.source].second->events()[k.index].time_ms,
+                    journals[k.source].first, k.index);
+  };
+  std::sort(order.begin(), order.end(),
+            [&](const Keyed& a, const Keyed& b) { return key(a) < key(b); });
+  std::vector<MergedEvent> merged;
+  merged.reserve(order.size());
+  for (const Keyed& k : order) {
+    merged.push_back(MergedEvent{
+        journals[k.source].first,
+        journals[k.source].second->events()[k.index]});
+  }
+  return merged;
 }
 
 }  // namespace gw::obs

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <deque>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "obs/metrics.h"
@@ -105,5 +106,22 @@ struct Hooks {
   MetricsRegistry* metrics = nullptr;
   EventJournal* journal = nullptr;
 };
+
+// --- merge-ordered emission (sharded worlds) ------------------------------
+//
+// A sharded fleet keeps one journal per station so recording stays
+// race-free; exports need one global order. merge_journals() interleaves by
+// (time, station, per-journal record index) — the same (time, station, seq)
+// rule the sharded kernel applies to messages — so the merged sequence is
+// independent of how stations were partitioned onto shards and of how many
+// threads advanced them.
+
+struct MergedEvent {
+  std::string station;
+  Event event;
+};
+
+[[nodiscard]] std::vector<MergedEvent> merge_journals(
+    const std::vector<std::pair<std::string, const EventJournal*>>& journals);
 
 }  // namespace gw::obs

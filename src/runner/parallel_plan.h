@@ -1,0 +1,44 @@
+// Nested parallelism policy: trials × shards.
+//
+// Two layers of this repo can each use every core: the MonteCarloRunner
+// fans independent trials out across a pool (PR 3), and a ShardedSimulation
+// fans the shards of *one* world out across its own pool. A bench that
+// runs sharded worlds as trials must split the machine between the layers
+// or oversubscribe it — worker threads multiply, not share.
+//
+// The policy (docs/PARALLELISM.md): outer trial parallelism wins. Trials
+// are embarrassingly parallel — no barriers, no messages — so a thread
+// spent there is never idle; shard workers synchronise every window and
+// scale sub-linearly. Shards only get what the trial layer cannot use
+// (fewer trials than cores, or a single interactive world).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+
+namespace gw::runner {
+
+struct ParallelPlan {
+  unsigned trial_threads = 1;  // MonteCarloRunner pool size
+  unsigned shard_workers = 1;  // ShardedSimulation workers per trial
+};
+
+// Splits `hardware` threads (0 is treated as 1) between `trials` outer
+// jobs and `shards` shards per job. trial_threads * shard_workers never
+// exceeds max(hardware, 1): the plan refuses to oversubscribe.
+[[nodiscard]] inline ParallelPlan plan_nested(unsigned hardware,
+                                              std::size_t trials,
+                                              std::size_t shards) {
+  if (hardware == 0) hardware = 1;
+  if (trials == 0) trials = 1;
+  if (shards == 0) shards = 1;
+  ParallelPlan plan;
+  plan.trial_threads = static_cast<unsigned>(
+      std::min<std::size_t>(hardware, trials));
+  const unsigned leftover = hardware / plan.trial_threads;
+  plan.shard_workers = static_cast<unsigned>(
+      std::min<std::size_t>(std::max(1u, leftover), shards));
+  return plan;
+}
+
+}  // namespace gw::runner

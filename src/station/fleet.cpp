@@ -3,39 +3,9 @@
 #include <stdexcept>
 
 #include "power/chargers.h"
+#include "station/fleet_assembly.h"
 
 namespace gw::station {
-namespace {
-
-// Per-probe spread: Fig 6 shows distinct conductivity curves for probes
-// 21/24/25 — different positions relative to basal drainage give different
-// baselines and melt responses; radio quality varies with depth/orientation.
-// Fleets cycle the same seven variants per station.
-struct ProbeVariant {
-  double base_us;
-  double gain_us;
-  double link_quality;
-};
-
-constexpr ProbeVariant kVariants[] = {
-    {0.5, 9.0, 1.0},  {0.8, 13.5, 1.1}, {0.3, 7.0, 0.9}, {1.2, 15.0, 1.3},
-    {0.6, 11.0, 1.0}, {0.9, 8.5, 1.2},  {0.4, 12.0, 0.8},
-};
-
-std::unique_ptr<power::Charger> make_charger(ChargerKind kind) {
-  switch (kind) {
-    case ChargerKind::kSolar:
-      return std::make_unique<power::SolarPanel>(power::SolarPanelConfig{});
-    case ChargerKind::kWind:
-      return std::make_unique<power::WindTurbine>(power::WindTurbineConfig{});
-    case ChargerKind::kMains:
-      return std::make_unique<power::MainsCharger>(
-          power::MainsChargerConfig{});
-  }
-  throw std::invalid_argument("Fleet: unknown charger kind");
-}
-
-}  // namespace
 
 Fleet::Fleet(FleetConfig config)
     : config_(std::move(config)),
@@ -64,7 +34,7 @@ Fleet::Fleet(FleetConfig config)
         spec.station));
     if (!config_.fault_spec.empty()) built->set_fault_oracle(&fault_oracle_);
     for (const ChargerKind kind : spec.chargers) {
-      built->add_charger(make_charger(kind));
+      built->add_charger(assembly::make_charger(kind));
     }
     if (!spec.sync_group.empty()) {
       server_.sync().assign_group(spec.station.name, spec.sync_group);
@@ -79,7 +49,7 @@ Fleet::Fleet(FleetConfig config)
   for (std::size_t s = 0; s < config_.stations.size(); ++s) {
     const StationSpec& spec = config_.stations[s];
     for (int i = 0; i < spec.probe_count; ++i) {
-      const auto& variant = kVariants[std::size_t(i) % std::size(kVariants)];
+      const auto& variant = assembly::probe_variant(i);
       ProbeNodeConfig probe_config;
       probe_config.probe_id = 20 + i;
       probe_config.conductivity_base_us = variant.base_us;

@@ -177,6 +177,34 @@ class SouthamptonServer {
     return beacons_;
   }
 
+  // --- shard-message drains (sim/sharded_simulation.h) --------------------
+  //
+  // A sharded fleet runs one replica of this server per station and relays
+  // what the station handed its replica — receipts, beacons, special
+  // results — to the authoritative hub as timestamped messages drained at
+  // window barriers (docs/PARALLELISM.md). Drains move the raw ledgers out
+  // in arrival order; the exact per-station totals are counters and stay.
+
+  [[nodiscard]] std::vector<ReceivedFile> drain_received() {
+    std::vector<ReceivedFile> drained{
+        std::make_move_iterator(received_.begin()),
+        std::make_move_iterator(received_.end())};
+    received_.clear();
+    return drained;
+  }
+
+  [[nodiscard]] std::vector<TimedBeacon> drain_beacons() {
+    std::vector<TimedBeacon> drained;
+    drained.swap(beacons_);
+    return drained;
+  }
+
+  [[nodiscard]] std::vector<core::SpecialExecution> drain_special_results() {
+    std::vector<core::SpecialExecution> drained;
+    drained.swap(special_results_);
+    return drained;
+  }
+
   // --- ledger introspection (tests / leak guards) -------------------------
 
   // Number of stations with a materialised queue of each kind. Queues are

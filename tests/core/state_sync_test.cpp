@@ -209,6 +209,41 @@ TEST(SyncServer, GroupMembershipIntrospection) {
   EXPECT_TRUE(server.group_members("pair_a").empty());
 }
 
+TEST(SyncServer, ReportLogIsOptInAndDrainsInReportOrder) {
+  SyncServer server;
+  // Off by default: the serial fleet pays nothing for the sharded hook.
+  server.report_state("base", PowerState::kState3, sim::SimTime{100});
+  EXPECT_FALSE(server.report_log_enabled());
+  EXPECT_TRUE(server.drain_report_log().empty());
+
+  server.enable_report_log();
+  server.report_state("base", PowerState::kState2, sim::SimTime{200});
+  server.report_state("reference", PowerState::kState1, sim::SimTime{250});
+  const auto drained = server.drain_report_log();
+  ASSERT_EQ(drained.size(), 2u);
+  EXPECT_EQ(drained[0].station, "base");
+  EXPECT_EQ(drained[0].state, PowerState::kState2);
+  EXPECT_EQ(drained[0].reported_at, sim::SimTime{200});
+  EXPECT_EQ(drained[1].station, "reference");
+  // Draining moves: a second drain is empty until the next report.
+  EXPECT_TRUE(server.drain_report_log().empty());
+}
+
+TEST(SyncServer, RecordRemoteStateUpdatesLedgerWithoutEcho) {
+  // A relayed peer report must enter the min-rule ledger but NOT the
+  // report log — logging it would bounce the report back to the peer at
+  // the next drain, forever.
+  SyncServer server;
+  server.enable_report_log();
+  server.assign_group("base", "pair");
+  server.assign_group("reference", "pair");
+  server.record_remote_state("reference", PowerState::kState1,
+                             sim::SimTime{500});
+  EXPECT_TRUE(server.drain_report_log().empty());
+  EXPECT_EQ(server.override_for_client("base", sim::SimTime{600}),
+            PowerState::kState1);
+}
+
 TEST(SyncServer, EndToEndKeepsStationsInLockstep) {
   // Both stations apply the min rule, so dGPS schedules match even though
   // their batteries differ.

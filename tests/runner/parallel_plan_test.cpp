@@ -1,0 +1,60 @@
+#include "runner/parallel_plan.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace gw::runner {
+namespace {
+
+TEST(ParallelPlan, TrialsWinTheMachine) {
+  // More trials than cores: every thread goes to the outer layer, shards
+  // run serially inside each trial.
+  const ParallelPlan plan = plan_nested(8, 16, 4);
+  EXPECT_EQ(plan.trial_threads, 8u);
+  EXPECT_EQ(plan.shard_workers, 1u);
+}
+
+TEST(ParallelPlan, SingleWorldGivesShardsTheMachine) {
+  const ParallelPlan plan = plan_nested(8, 1, 4);
+  EXPECT_EQ(plan.trial_threads, 1u);
+  EXPECT_EQ(plan.shard_workers, 4u);
+}
+
+TEST(ParallelPlan, LeftoverCoresGoToShards) {
+  // 3 trials on 8 cores: 8/3 = 2 cores left per trial for shard workers.
+  const ParallelPlan plan = plan_nested(8, 3, 4);
+  EXPECT_EQ(plan.trial_threads, 3u);
+  EXPECT_EQ(plan.shard_workers, 2u);
+}
+
+TEST(ParallelPlan, ShardWorkersNeverExceedShards) {
+  const ParallelPlan plan = plan_nested(16, 1, 2);
+  EXPECT_EQ(plan.trial_threads, 1u);
+  EXPECT_EQ(plan.shard_workers, 2u);
+}
+
+TEST(ParallelPlan, ZeroInputsDegradeToSerial) {
+  const ParallelPlan plan = plan_nested(0, 0, 0);
+  EXPECT_EQ(plan.trial_threads, 1u);
+  EXPECT_EQ(plan.shard_workers, 1u);
+}
+
+TEST(ParallelPlan, NeverOversubscribes) {
+  for (unsigned hardware = 0; hardware <= 9; ++hardware) {
+    for (std::size_t trials = 0; trials <= 5; ++trials) {
+      for (std::size_t shards = 0; shards <= 5; ++shards) {
+        const ParallelPlan plan = plan_nested(hardware, trials, shards);
+        EXPECT_GE(plan.trial_threads, 1u);
+        EXPECT_GE(plan.shard_workers, 1u);
+        EXPECT_LE(plan.trial_threads * plan.shard_workers,
+                  std::max(hardware, 1u))
+            << "hardware=" << hardware << " trials=" << trials
+            << " shards=" << shards;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gw::runner

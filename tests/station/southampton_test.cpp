@@ -131,6 +131,37 @@ TEST(Southampton, UnboundedWindowKeepsEveryReceipt) {
             server.files_received());
 }
 
+TEST(Southampton, DrainsMoveLedgersButKeepExactTotals) {
+  // The sharded fleet's barrier drain: receipts, beacons, and special
+  // results move out exactly once; the per-station counters stay exact so
+  // replica totals remain comparable with the hub's.
+  SouthamptonServer server;
+  server.receive_file("base", "a.log", 2_KiB, sim::SimTime{10});
+  server.receive_file("base", "b.log", 3_KiB, sim::SimTime{20});
+  server.receive_beacon({"gw.tar.gz", "abc123", true}, sim::SimTime{30});
+  server.record_special_result({"sp1", sim::SimTime{40}, sim::SimTime{50}});
+
+  const auto received = server.drain_received();
+  ASSERT_EQ(received.size(), 2u);
+  EXPECT_EQ(received[0].name, "a.log");
+  EXPECT_EQ(received[1].received_at, sim::SimTime{20});
+  EXPECT_TRUE(server.received().empty());
+  EXPECT_TRUE(server.drain_received().empty());
+  EXPECT_EQ(server.files_from("base"), 2);
+  EXPECT_EQ(server.bytes_from("base"), 5_KiB);
+  EXPECT_EQ(server.files_received(), 2u);
+
+  const auto beacons = server.drain_beacons();
+  ASSERT_EQ(beacons.size(), 1u);
+  EXPECT_EQ(beacons[0].beacon.name, "gw.tar.gz");
+  EXPECT_TRUE(server.beacons().empty());
+
+  const auto specials = server.drain_special_results();
+  ASSERT_EQ(specials.size(), 1u);
+  EXPECT_EQ(specials[0].id, "sp1");
+  EXPECT_TRUE(server.special_results().empty());
+}
+
 TEST(Southampton, SyncLedgerAccessible) {
   SouthamptonServer server;
   server.sync().report_state("base", core::PowerState::kState3);
