@@ -30,13 +30,18 @@
 #      count or partition leaked into the results and fails the check.
 #      Leaves the export in the repo root; disabled together with leg 5
 #      via GW_CHECK_BENCH=0;
-#   7. gwlint (always-on once built — it compiles with the repo): the
+#   7. server load determinism gate: when build/bench/bench_server_load
+#      exists, runs the ingest + >1M-query service-core bench twice —
+#      GW_BENCH_THREADS=1 and the defaults — and byte-diffs the two
+#      BENCH_server_load.json exports. Leaves the export in the repo root;
+#      disabled together with leg 5 via GW_CHECK_BENCH=0;
+#   8. gwlint (always-on once built — it compiles with the repo): the
 #      project's own analyzer (tools/gwlint) over src/ bench/ tests/
 #      examples/ tools/ — determinism bans (wall clocks, ambient entropy,
 #      getenv), layer-DAG enforcement against tools/gwlint/layers.toml,
 #      unordered-container iteration, header hygiene. Rule catalog and
 #      suppression policy: docs/STATIC_ANALYSIS.md;
-#   8. clang-tidy over the compilation database exported by CMake
+#   9. clang-tidy over the compilation database exported by CMake
 #      (build/compile_commands.json, curated checks in .clang-tidy) —
 #      gated on clang-tidy being installed, like the clang-format leg.
 #
@@ -157,7 +162,29 @@ else
   echo "skip: fleet determinism gate (GW_CHECK_BENCH=0)"
 fi
 
-# --- 7. gwlint -------------------------------------------------------------
+# --- 7. server load determinism gate ---------------------------------------
+if [ "${GW_CHECK_BENCH:-1}" = "1" ]; then
+  if [ -x build/bench/bench_server_load ]; then
+    echo "== server load bench: 1 thread vs defaults (byte-diff gate)"
+    if GW_BENCH_THREADS=1 ./build/bench/bench_server_load >/dev/null &&
+       mv BENCH_server_load.json BENCH_server_load.1thread.json &&
+       ./build/bench/bench_server_load >/dev/null &&
+       cmp -s BENCH_server_load.json BENCH_server_load.1thread.json; then
+      rm -f BENCH_server_load.1thread.json
+      echo "ok: BENCH_server_load.json byte-identical at 1 vs N threads"
+    else
+      echo "FAIL: server load export differs across thread counts" \
+           "(compare BENCH_server_load.json vs BENCH_server_load.1thread.json)"
+      failures=$((failures + 1))
+    fi
+  else
+    echo "skip: bench_server_load not built (build the default tree first)"
+  fi
+else
+  echo "skip: server load determinism gate (GW_CHECK_BENCH=0)"
+fi
+
+# --- 8. gwlint -------------------------------------------------------------
 if [ -x build/tools/gwlint ]; then
   echo "== gwlint (determinism + layering + hygiene rules)"
   if ./build/tools/gwlint --root . --config tools/gwlint/layers.toml \
@@ -172,7 +199,7 @@ else
   echo "skip: gwlint not built (build the default tree first)"
 fi
 
-# --- 8. clang-tidy ---------------------------------------------------------
+# --- 9. clang-tidy ---------------------------------------------------------
 if command -v clang-tidy >/dev/null 2>&1; then
   if [ -f build/compile_commands.json ]; then
     echo "== clang-tidy (curated checks from .clang-tidy, src/ TUs)"

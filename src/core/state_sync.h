@@ -28,12 +28,14 @@
 #pragma once
 
 #include <algorithm>
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "core/power_policy.h"
+#include "obs/journal.h"
 #include "sim/time.h"
 
 namespace gw::core {
@@ -67,6 +69,19 @@ class SyncServer {
   void set_max_report_age(sim::Duration age) { max_report_age_ = age; }
   [[nodiscard]] sim::Duration max_report_age() const {
     return max_report_age_;
+  }
+
+  // Optional instrumentation: future-dated reports journal a
+  // kFutureReport record ("state_sync") when they are ignored by a
+  // freshness fold. Null hooks cost one branch on the anomalous path only.
+  void set_hooks(obs::Hooks hooks) { hooks_ = hooks; }
+
+  // Times a freshness fold ignored an entry whose reported_at lay in the
+  // future (see fold_entry). Counts per *fold*, not per entry: a future
+  // report consulted by ten queries counts ten — it is an ongoing anomaly,
+  // like an alert that fires per evaluation.
+  [[nodiscard]] std::uint64_t future_reports_ignored() const {
+    return future_reports_ignored_;
   }
 
   // `at` defaults to the epoch so timestamp-free callers (unit tests,
@@ -230,6 +245,45 @@ class SyncServer {
     return it->second.reported_at;
   }
 
+  // Every station with a ledger entry, in name order (directory queries).
+  [[nodiscard]] std::vector<std::string> reported_stations() const {
+    std::vector<std::string> names;
+    names.reserve(latest_.size());
+    for (const auto& [station, entry] : latest_) names.push_back(station);
+    return names;
+  }
+
+  // The consumer-facing convergence view of one group, computed from the
+  // *ledger* (reported states), not live station objects — this is what a
+  // Southampton operator can actually see. Converged means every member
+  // has a fresh, honest report and all of them agree.
+  struct GroupView {
+    int members = 0;
+    int fresh = 0;
+    bool converged = false;
+    PowerState state = PowerState::kState0;  // agreed state when converged
+  };
+  [[nodiscard]] GroupView group_view(const std::string& group,
+                                     sim::SimTime now = sim::kEpoch) const {
+    GroupView view;
+    bool agree = true;
+    for (const auto& [member, g] : group_of_) {
+      if (g != group) continue;
+      ++view.members;
+      const auto it = latest_.find(member);
+      if (it == latest_.end()) continue;
+      std::optional<PowerState> folded;
+      fold_entry(it->second, now, folded);
+      if (!folded.has_value()) continue;  // stale or future-dated
+      if (view.fresh > 0 && *folded != view.state) agree = false;
+      view.state = view.fresh == 0 ? *folded : std::min(view.state, *folded);
+      ++view.fresh;
+    }
+    view.converged = view.members > 0 && view.fresh == view.members && agree;
+    if (!view.converged) view.state = PowerState::kState0;
+    return view;
+  }
+
  private:
   struct Entry {
     PowerState state = PowerState::kState0;
@@ -237,13 +291,35 @@ class SyncServer {
   };
 
   // Folds a ledger entry into the running minimum iff it is still fresh.
+  //
+  // A future-dated report is *rejected*, not treated as eternally fresh:
+  // `now - reported_at` goes negative for a station whose RTC runs ahead
+  // (rtc_drift fault) or a cross-shard relay consulted before the replica's
+  // clock caught up, and the old `age > max` test then held forever — one
+  // drifted clock could pin its group's min-rule indefinitely. Once real
+  // time reaches the claimed timestamp the entry folds normally, so honest
+  // reports (reported_at <= now) behave exactly as before.
   void fold_entry(const Entry& entry, sim::SimTime now,
                   std::optional<PowerState>& lowest) const {
+    if (entry.reported_at > now) {  // from the future: not evidence
+      ++future_reports_ignored_;
+      if (hooks_.journal != nullptr) {
+        hooks_.journal->record(now.millis_since_epoch(),
+                               obs::EventType::kFutureReport, "state_sync",
+                               (entry.reported_at - now).to_seconds(),
+                               double(to_int(entry.state)));
+      }
+      return;
+    }
     if (now - entry.reported_at > max_report_age_) return;  // stale
     if (!lowest.has_value() || entry.state < *lowest) lowest = entry.state;
   }
 
   std::map<std::string, Entry> latest_;
+  obs::Hooks hooks_;
+  // Mutable: queries are logically const reads of the ledger; the anomaly
+  // count is instrumentation, not state the min-rule depends on.
+  mutable std::uint64_t future_reports_ignored_ = 0;
   bool report_log_enabled_ = false;
   std::vector<ReportRecord> report_log_;
   std::map<std::string, std::string> group_of_;

@@ -41,6 +41,10 @@ const char* to_string(EventType type) {
       return "group_diverged";
     case EventType::kGroupConverged:
       return "group_converged";
+    case EventType::kFutureReport:
+      return "future_report";
+    case EventType::kIngestRejected:
+      return "ingest_rejected";
   }
   return "unknown";
 }

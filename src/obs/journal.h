@@ -40,6 +40,9 @@ enum class EventType : int {
   kSessionTimeout = 14,  // a = session elapsed seconds, b = cap seconds
   kGroupDiverged = 15,   // a = members in the sync group, b = distinct states
   kGroupConverged = 16,  // a = members in the sync group, b = agreed state
+  kFutureReport = 17,    // a = seconds the report runs ahead, b = its state
+  kIngestRejected = 18,  // a = queue kind (0 special/1 update/2 config),
+                         // b = the per-station queue limit that was full
 };
 
 [[nodiscard]] const char* to_string(EventType type);

@@ -1,6 +1,8 @@
 #include "proto/messages.h"
 
+#include <charconv>
 #include <cstdio>
+#include <system_error>
 
 #include "util/crc32.h"
 #include "util/strings.h"
@@ -15,6 +17,25 @@ std::string crc_hex(std::string_view body) {
 }
 
 }  // namespace
+
+std::optional<std::int64_t> Form::parse_int(std::string_view text) {
+  // std::from_chars is exactly the strictness wanted: no leading
+  // whitespace, no '+', no locale. The only extra requirement is that it
+  // consumed the *whole* value — std::stoll's silent "42xyz" -> 42 was the
+  // lenient path this replaces.
+  std::int64_t value = 0;
+  const char* const first = text.data();
+  const char* const last = first + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc{} || ptr != last) return std::nullopt;
+  return value;
+}
+
+std::optional<std::int64_t> Form::get_int(const std::string& key) const {
+  const auto text = get(key);
+  if (!text.has_value()) return std::nullopt;
+  return parse_int(*text);
+}
 
 std::string Form::encode() const {
   std::string body;
@@ -128,6 +149,181 @@ util::Result<OverrideResponse> OverrideResponse::decode(
   response.has_override = *has != 0;
   response.state = power::from_int(int(*state));
   return response;
+}
+
+// --- read API -------------------------------------------------------------
+
+namespace {
+
+// Shared preamble for every typed decode: verify the CRC envelope, then the
+// message-type tag.
+util::Result<Form> decode_as(const std::string& wire, const char* msg) {
+  auto form = Form::decode(wire);
+  if (!form.ok()) return form.error();
+  if (form.value().get("msg").value_or("") != msg) {
+    return util::make_error(std::string(msg) + ": wrong message type");
+  }
+  return form;
+}
+
+}  // namespace
+
+std::string DirectoryRequest::encode() const {
+  Form form;
+  form.set("msg", "dir_request");
+  return form.encode();
+}
+
+util::Result<DirectoryRequest> DirectoryRequest::decode(
+    const std::string& wire) {
+  auto form = decode_as(wire, "dir_request");
+  if (!form.ok()) return form.error();
+  return DirectoryRequest{};
+}
+
+std::string DirectoryResponse::encode() const {
+  Form form;
+  form.set("msg", "dir_response");
+  form.set_int("n", std::int64_t(stations.size()));
+  for (std::size_t i = 0; i < stations.size(); ++i) {
+    form.set("s" + std::to_string(i), stations[i]);
+  }
+  return form.encode();
+}
+
+util::Result<DirectoryResponse> DirectoryResponse::decode(
+    const std::string& wire) {
+  auto form = decode_as(wire, "dir_response");
+  if (!form.ok()) return form.error();
+  const auto count = form.value().get_int("n");
+  if (!count || *count < 0 || *count > kMaxDirectoryStations) {
+    return util::make_error("dir_response: bad station count");
+  }
+  DirectoryResponse response;
+  response.stations.reserve(std::size_t(*count));
+  for (std::int64_t i = 0; i < *count; ++i) {
+    const auto name = form.value().get("s" + std::to_string(i));
+    if (!name) return util::make_error("dir_response: missing station field");
+    response.stations.push_back(*name);
+  }
+  return response;
+}
+
+std::string StationStatsRequest::encode() const {
+  Form form;
+  form.set("msg", "stats_request");
+  form.set("station", station);
+  return form.encode();
+}
+
+util::Result<StationStatsRequest> StationStatsRequest::decode(
+    const std::string& wire) {
+  auto form = decode_as(wire, "stats_request");
+  if (!form.ok()) return form.error();
+  const auto station = form.value().get("station");
+  if (!station) return util::make_error("stats_request: missing station");
+  StationStatsRequest request;
+  request.station = *station;
+  return request;
+}
+
+std::string StationStatsResponse::encode() const {
+  Form form;
+  form.set("msg", "stats_response");
+  form.set("station", station);
+  form.set_int("known", known ? 1 : 0);
+  form.set_int("files", files);
+  form.set_int("bytes", bytes);
+  form.set_int("beacons", beacons);
+  return form.encode();
+}
+
+util::Result<StationStatsResponse> StationStatsResponse::decode(
+    const std::string& wire) {
+  auto form = decode_as(wire, "stats_response");
+  if (!form.ok()) return form.error();
+  const auto station = form.value().get("station");
+  const auto known = form.value().get_int("known");
+  const auto files = form.value().get_int("files");
+  const auto bytes = form.value().get_int("bytes");
+  const auto beacons = form.value().get_int("beacons");
+  if (!station || !known || !files || !bytes || !beacons) {
+    return util::make_error("stats_response: missing fields");
+  }
+  StationStatsResponse response;
+  response.station = *station;
+  response.known = *known != 0;
+  response.files = *files;
+  response.bytes = *bytes;
+  response.beacons = *beacons;
+  return response;
+}
+
+std::string GroupStatusRequest::encode() const {
+  Form form;
+  form.set("msg", "group_request");
+  form.set("group", group);
+  return form.encode();
+}
+
+util::Result<GroupStatusRequest> GroupStatusRequest::decode(
+    const std::string& wire) {
+  auto form = decode_as(wire, "group_request");
+  if (!form.ok()) return form.error();
+  const auto group = form.value().get("group");
+  if (!group) return util::make_error("group_request: missing group");
+  GroupStatusRequest request;
+  request.group = *group;
+  return request;
+}
+
+std::string GroupStatusResponse::encode() const {
+  Form form;
+  form.set("msg", "group_response");
+  form.set("group", group);
+  form.set_int("members", members);
+  form.set_int("fresh", fresh);
+  form.set_int("converged", converged ? 1 : 0);
+  form.set_int("state", power::to_int(state));
+  return form.encode();
+}
+
+util::Result<GroupStatusResponse> GroupStatusResponse::decode(
+    const std::string& wire) {
+  auto form = decode_as(wire, "group_response");
+  if (!form.ok()) return form.error();
+  const auto group = form.value().get("group");
+  const auto members = form.value().get_int("members");
+  const auto fresh = form.value().get_int("fresh");
+  const auto converged = form.value().get_int("converged");
+  const auto state = form.value().get_int("state");
+  if (!group || !members || !fresh || !converged || !state.has_value()) {
+    return util::make_error("group_response: missing fields");
+  }
+  GroupStatusResponse response;
+  response.group = *group;
+  response.members = *members;
+  response.fresh = *fresh;
+  response.converged = *converged != 0;
+  response.state = power::from_int(int(*state));
+  return response;
+}
+
+std::string QueryError::encode() const {
+  Form form;
+  form.set("msg", "error");
+  form.set("reason", reason);
+  return form.encode();
+}
+
+util::Result<QueryError> QueryError::decode(const std::string& wire) {
+  auto form = decode_as(wire, "error");
+  if (!form.ok()) return form.error();
+  const auto reason = form.value().get("reason");
+  if (!reason) return util::make_error("error: missing reason");
+  QueryError error;
+  error.reason = *reason;
+  return error;
 }
 
 }  // namespace gw::proto

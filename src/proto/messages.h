@@ -13,6 +13,8 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "power/power_state.h"
 #include "util/result.h"
@@ -38,16 +40,16 @@ class Form {
     return it->second;
   }
 
+  // Strict full-string integer parse: the entire value must be a base-10
+  // integer (optional leading '-'). Leading whitespace, '+' signs, trailing
+  // garbage ("42xyz"), and overflow all return nullopt — a field-lesson §VI
+  // server never guesses what a half-numeric value meant.
   [[nodiscard]] std::optional<std::int64_t> get_int(
-      const std::string& key) const {
-    const auto text = get(key);
-    if (!text.has_value()) return std::nullopt;
-    try {
-      return std::stoll(*text);
-    } catch (...) {
-      return std::nullopt;
-    }
-  }
+      const std::string& key) const;
+
+  // The parser behind get_int, exposed so tests can pin its strictness.
+  [[nodiscard]] static std::optional<std::int64_t> parse_int(
+      std::string_view text);
 
   [[nodiscard]] std::size_t size() const { return fields_.size(); }
 
@@ -85,6 +87,83 @@ struct OverrideResponse {
   power::PowerState state = power::PowerState::kState3;
   [[nodiscard]] std::string encode() const;
   [[nodiscard]] static util::Result<OverrideResponse> decode(
+      const std::string& wire);
+};
+
+// --- consumer read API ----------------------------------------------------
+//
+// The client-facing query surface served by station::SouthamptonServer
+// (docs/FLEET.md "The server read API"): a station directory, per-station
+// season rollups, and sync-group convergence status. Every message renders
+// through the same Form codec as the control plane, so query traffic has
+// real wire sizes and corrupted requests are detected, not trusted.
+
+// "Which stations does this server know about?"
+struct DirectoryRequest {
+  [[nodiscard]] std::string encode() const;
+  [[nodiscard]] static util::Result<DirectoryRequest> decode(
+      const std::string& wire);
+};
+
+// Decode refuses a count above this: a malformed (but CRC-valid) count
+// must not drive an unbounded field loop.
+inline constexpr std::int64_t kMaxDirectoryStations = 65536;
+
+struct DirectoryResponse {
+  std::vector<std::string> stations;  // sorted by name (server contract)
+
+  [[nodiscard]] std::string encode() const;
+  [[nodiscard]] static util::Result<DirectoryResponse> decode(
+      const std::string& wire);
+};
+
+// "What has station X delivered this season?"
+struct StationStatsRequest {
+  std::string station;
+  [[nodiscard]] std::string encode() const;
+  [[nodiscard]] static util::Result<StationStatsRequest> decode(
+      const std::string& wire);
+};
+
+struct StationStatsResponse {
+  std::string station;
+  bool known = false;  // false: the server has never heard of the station
+  std::int64_t files = 0;
+  std::int64_t bytes = 0;
+  std::int64_t beacons = 0;
+
+  [[nodiscard]] std::string encode() const;
+  [[nodiscard]] static util::Result<StationStatsResponse> decode(
+      const std::string& wire);
+};
+
+// "Is sync group G in lockstep right now?"
+struct GroupStatusRequest {
+  std::string group;
+  [[nodiscard]] std::string encode() const;
+  [[nodiscard]] static util::Result<GroupStatusRequest> decode(
+      const std::string& wire);
+};
+
+struct GroupStatusResponse {
+  std::string group;
+  std::int64_t members = 0;
+  std::int64_t fresh = 0;  // members with an unexpired report
+  bool converged = false;
+  power::PowerState state = power::PowerState::kState0;  // when converged
+
+  [[nodiscard]] std::string encode() const;
+  [[nodiscard]] static util::Result<GroupStatusResponse> decode(
+      const std::string& wire);
+};
+
+// The server's refusal envelope: `reason` is a short identifier code
+// ("bad_wire", "unknown_msg", ...) — codes, not prose, so they survive the
+// Form charset rules and tests can switch on them.
+struct QueryError {
+  std::string reason;
+  [[nodiscard]] std::string encode() const;
+  [[nodiscard]] static util::Result<QueryError> decode(
       const std::string& wire);
 };
 

@@ -24,6 +24,10 @@ Fleet::Fleet(FleetConfig config)
     server_.set_fault_oracle(&fault_oracle_);
   }
   server_.set_received_window(config_.server_received_window);
+  server_.set_station_queue_limit(config_.server_station_queue_limit);
+  // Anomaly paths (ingest_rejected, future_report) journal into the rollup
+  // sinks; an honest season under default limits records nothing here.
+  server_.set_hooks(obs::Hooks{&rollup_, &rollup_journal_});
 
   // Pass 1: stations with their harvest mix, in spec order. Every station
   // forks its rng stream by name (order-insensitive), so the assembly

@@ -67,6 +67,11 @@ ShardedFleet::ShardedFleet(ShardedFleetConfig config)
   }
 
   hub_.set_received_window(fleet.server_received_window);
+  hub_.set_station_queue_limit(fleet.server_station_queue_limit);
+  // Hub-side anomaly journal (ingest_rejected, future_report) mirrors the
+  // serial Fleet wiring; honest seasons record nothing here. The replicas
+  // stay uninstrumented — their ledgers drain into the hub anyway.
+  hub_.set_hooks(obs::Hooks{&rollup_, &rollup_journal_});
 
   util::Rng rng{fleet.seed};
 
@@ -84,6 +89,7 @@ ShardedFleet::ShardedFleet(ShardedFleetConfig config)
     world->environment =
         std::make_unique<env::Environment>(fleet.environment, fleet.seed);
     world->server = std::make_unique<SouthamptonServer>();
+    world->server->set_station_queue_limit(fleet.server_station_queue_limit);
     world->server->sync().enable_report_log();
     if (plan.has_value()) {
       world->oracle = std::make_unique<fault::FaultOracle>(
@@ -180,21 +186,21 @@ std::size_t ShardedFleet::index_of(const std::string& station_name) const {
                               station_name);
 }
 
-void ShardedFleet::queue_special(const std::string& station_name,
+bool ShardedFleet::queue_special(const std::string& station_name,
                                  core::SpecialCommand command) {
-  worlds_[index_of(station_name)]->server->queue_special(station_name,
-                                                         std::move(command));
+  return worlds_[index_of(station_name)]->server->queue_special(
+      station_name, std::move(command));
 }
 
-void ShardedFleet::queue_update(const std::string& station_name,
+bool ShardedFleet::queue_update(const std::string& station_name,
                                 core::UpdatePackage package) {
-  worlds_[index_of(station_name)]->server->queue_update(station_name,
-                                                        std::move(package));
+  return worlds_[index_of(station_name)]->server->queue_update(
+      station_name, std::move(package));
 }
 
-void ShardedFleet::queue_config_update(const std::string& station_name,
+bool ShardedFleet::queue_config_update(const std::string& station_name,
                                        core::ConfigUpdate update) {
-  worlds_[index_of(station_name)]->server->queue_config_update(
+  return worlds_[index_of(station_name)]->server->queue_config_update(
       station_name, std::move(update));
 }
 
@@ -330,7 +336,8 @@ void ShardedFleet::drain(sim::SimTime barrier) {
       sharded_->post_apply(beacon.at + config_.latency,
                            world.station->name(),
                            [this, beacon](sim::SimTime) {
-                             hub_.receive_beacon(beacon.beacon, beacon.at);
+                             hub_.receive_beacon(beacon.station, beacon.beacon,
+                                                 beacon.at);
                            });
     }
     for (auto& result : world.server->drain_special_results()) {

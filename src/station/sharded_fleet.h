@@ -135,11 +135,13 @@ class ShardedFleet {
 
   // --- operator actions (coordinator context, between runs) ---------------
 
-  void queue_special(const std::string& station_name,
+  // Each returns what the station's replica said: false when its bounded
+  // per-station queue refused the item (SouthamptonServer backpressure).
+  bool queue_special(const std::string& station_name,
                      core::SpecialCommand command);
-  void queue_update(const std::string& station_name,
+  bool queue_update(const std::string& station_name,
                     core::UpdatePackage package);
-  void queue_config_update(const std::string& station_name,
+  bool queue_config_update(const std::string& station_name,
                            core::ConfigUpdate update);
   void set_manual_override(std::optional<core::PowerState> override_state);
   void set_group_override(const std::string& group,

@@ -1,0 +1,136 @@
+#include "station/southampton.h"
+
+#include <set>
+#include <utility>
+
+namespace gw::station {
+namespace {
+
+// FNV-1a, the same stable string hash everywhere a stripe key is needed:
+// std::hash is implementation-defined and would make stripe placement (and
+// anything exported from it) differ across standard libraries.
+std::uint64_t fnv1a(const std::string& key) {
+  std::uint64_t hash = 1469598103934665603ULL;
+  for (const unsigned char byte : key) {
+    hash ^= byte;
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+}  // namespace
+
+std::size_t SouthamptonServer::stripe_index(const std::string& key) const {
+  return std::size_t(fnv1a(key) % stripes_.size());
+}
+
+void SouthamptonServer::set_ingest_stripes(std::size_t count) {
+  if (count == 0) count = 1;
+  std::vector<IngestStripe> old;
+  old.swap(stripes_);
+  stripes_.resize(count);
+  for (auto& stripe : old) {
+    for (auto& [station, queue] : stripe.specials) {
+      auto& target = stripe_for(station).specials[station];
+      for (auto& item : queue) target.push_back(std::move(item));
+    }
+    for (auto& [station, queue] : stripe.updates) {
+      auto& target = stripe_for(station).updates[station];
+      for (auto& item : queue) target.push_back(std::move(item));
+    }
+    for (auto& [station, queue] : stripe.config_updates) {
+      auto& target = stripe_for(station).config_updates[station];
+      for (auto& item : queue) target.push_back(std::move(item));
+    }
+  }
+}
+
+std::size_t SouthamptonServer::compact_received() {
+  const std::size_t folded = received_.size();
+  for (const ReceivedFile& file : received_) {
+    auto [it, inserted] = receipt_summaries_.try_emplace(file.station);
+    ReceiptSummary& summary = it->second;
+    if (inserted || file.received_at < summary.first_at) {
+      summary.first_at = file.received_at;
+    }
+    if (inserted || summary.last_at < file.received_at) {
+      summary.last_at = file.received_at;
+    }
+    ++summary.files;
+    summary.bytes += file.size;
+  }
+  received_.clear();
+  if (folded > 0) ++compactions_;
+  return folded;
+}
+
+std::vector<std::string> SouthamptonServer::station_directory() const {
+  std::set<std::string> names;
+  for (const auto& [station, files] : files_by_station_) names.insert(station);
+  for (const auto& [station, count] : beacons_by_station_) {
+    names.insert(station);
+  }
+  for (const auto& [station, summary] : receipt_summaries_) {
+    names.insert(station);
+  }
+  for (const auto& station : sync_.reported_stations()) names.insert(station);
+  return {names.begin(), names.end()};
+}
+
+proto::StationStatsResponse SouthamptonServer::station_stats(
+    const std::string& station) const {
+  proto::StationStatsResponse response;
+  response.station = station;
+  response.files = files_from(station);
+  response.bytes = bytes_from(station).count();
+  response.beacons = beacons_from(station);
+  response.known = response.files > 0 || response.beacons > 0 ||
+                   receipt_summaries_.contains(station) ||
+                   sync_.reported_state(station).has_value();
+  return response;
+}
+
+std::string SouthamptonServer::handle_query(const std::string& wire,
+                                            sim::SimTime now) {
+  const auto form = proto::Form::decode(wire);
+  if (!form.ok()) {
+    ++queries_refused_;
+    return proto::QueryError{"bad_wire"}.encode();
+  }
+  const std::string msg = form.value().get("msg").value_or("");
+  if (msg == "dir_request") {
+    ++queries_served_;
+    proto::DirectoryResponse response;
+    response.stations = station_directory();
+    return response.encode();
+  }
+  if (msg == "stats_request") {
+    const auto request = proto::StationStatsRequest::decode(wire);
+    if (!request.ok()) {
+      ++queries_refused_;
+      return proto::QueryError{"bad_request"}.encode();
+    }
+    ++queries_served_;
+    return station_stats(request.value().station).encode();
+  }
+  if (msg == "group_request") {
+    const auto request = proto::GroupStatusRequest::decode(wire);
+    if (!request.ok()) {
+      ++queries_refused_;
+      return proto::QueryError{"bad_request"}.encode();
+    }
+    const auto view = sync_.group_view(request.value().group, now);
+    proto::GroupStatusResponse response;
+    response.group = request.value().group;
+    response.members = view.members;
+    response.fresh = view.fresh;
+    response.converged = view.converged;
+    response.state = view.state;
+    ++queries_served_;
+    return response.encode();
+  }
+  ++queries_refused_;
+  return proto::QueryError{"unknown_msg"}.encode();
+}
+
+}  // namespace gw::station

@@ -7,15 +7,25 @@
 // collects MD5 beacons. The received-data ledger is what the architecture
 // and backlog benches measure as *yield*.
 //
-// Fleet hygiene: per-station totals (files, bytes) are maintained as exact
-// counters in receive_file, so queries are O(log stations) regardless of
-// how many files a 130-day × N-station soak has ingested; the raw receipt
-// ledger can be capped behind a rolling window (set_received_window) so
-// memory stays bounded while the totals stay exact. Read paths never
-// mutate: fetching from a station with nothing queued leaves the ledgers
-// untouched.
+// Service core: the command/update/config queues live in ingest *stripes*
+// keyed by sync group (ungrouped stations stripe by name), so a fleet's
+// control traffic partitions the way its deployments do; per-station queues
+// can be bounded (set_station_queue_limit) and a full queue *rejects* the
+// enqueue — explicit backpressure with a journalled drop, never an
+// unbounded deque on a 130-day soak. The raw receipt ledger can be folded
+// into exact per-station summaries (compact_received) or capped behind a
+// rolling window (set_received_window); the lifetime totals are counters
+// and survive both. Read paths never mutate: fetching or querying a station
+// with nothing queued leaves the ledgers untouched.
+//
+// The server also answers a consumer read API (proto "consumer read API"
+// messages): station directory, per-station season rollups, and sync-group
+// convergence status, all dispatched through handle_query so query traffic
+// pays real wire sizes and corrupt requests are refused, not trusted.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <map>
 #include <optional>
@@ -27,6 +37,8 @@
 #include "core/state_sync.h"
 #include "core/update_manager.h"
 #include "fault/fault.h"
+#include "obs/journal.h"
+#include "proto/messages.h"
 #include "sim/time.h"
 #include "util/units.h"
 
@@ -37,6 +49,17 @@ struct ReceivedFile {
   std::string name;
   util::Bytes size{0};
   sim::SimTime received_at{};
+};
+
+// What compact_received() folds a station's raw receipts into: the exact
+// file/byte totals of every receipt compacted so far, plus the covered
+// time range. Totals here + the surviving raw deque always equal the
+// lifetime counters — compaction moves precision around, it never loses it.
+struct ReceiptSummary {
+  std::int64_t files = 0;
+  util::Bytes bytes{0};
+  sim::SimTime first_at{};
+  sim::SimTime last_at{};
 };
 
 class SouthamptonServer {
@@ -60,10 +83,44 @@ class SouthamptonServer {
 
   [[nodiscard]] fault::FaultOracle* fault_oracle() const { return oracle_; }
 
+  // --- instrumentation ----------------------------------------------------
+
+  // Wires the journal into the server's anomaly paths (kIngestRejected)
+  // and forwards the same hooks to the sync ledger (kFutureReport). Honest
+  // traffic under default limits records nothing.
+  void set_hooks(obs::Hooks hooks) {
+    hooks_ = hooks;
+    sync_.set_hooks(hooks);
+  }
+
   // --- state sync -----------------------------------------------------
 
   [[nodiscard]] core::SyncServer& sync() { return sync_; }
   [[nodiscard]] const core::SyncServer& sync() const { return sync_; }
+
+  // --- ingest striping & backpressure -------------------------------------
+
+  // Repartitions the command/update/config queues over `count` stripes
+  // (min 1). Existing queues are re-hashed, so this is safe at any time,
+  // but it is configuration: set it at fleet assembly, next to the sync
+  // groups that define the stripe keys.
+  void set_ingest_stripes(std::size_t count);
+  [[nodiscard]] std::size_t ingest_stripes() const { return stripes_.size(); }
+
+  // Caps every per-station queue (each kind separately) at `limit` items;
+  // 0 = unbounded (the legacy behaviour). A full queue makes queue_*
+  // return false and journal a kIngestRejected drop.
+  void set_station_queue_limit(std::size_t limit) {
+    station_queue_limit_ = limit;
+  }
+  [[nodiscard]] std::size_t station_queue_limit() const {
+    return station_queue_limit_;
+  }
+
+  // Enqueues refused by a full per-station queue (all kinds).
+  [[nodiscard]] std::uint64_t ingest_rejected() const {
+    return ingest_rejected_;
+  }
 
   // --- data ingest ------------------------------------------------------
 
@@ -92,7 +149,21 @@ class SouthamptonServer {
     return received_;
   }
 
-  // Exact lifetime totals, independent of the receipt window.
+  // Folds every raw receipt into its station's ReceiptSummary and clears
+  // the raw deque. Returns the number of receipts folded. Lifetime totals
+  // (files_received, files_from, bytes_from) are untouched; the summaries
+  // account exactly for everything ever compacted.
+  std::size_t compact_received();
+
+  // Per-station compaction summaries, in name order (std::map).
+  [[nodiscard]] const std::map<std::string, ReceiptSummary>&
+  receipt_summaries() const {
+    return receipt_summaries_;
+  }
+
+  [[nodiscard]] std::uint64_t compactions() const { return compactions_; }
+
+  // Exact lifetime totals, independent of the receipt window/compaction.
   [[nodiscard]] std::uint64_t files_received() const {
     return files_received_;
   }
@@ -109,18 +180,18 @@ class SouthamptonServer {
 
   // --- special commands ---------------------------------------------------
 
-  void queue_special(const std::string& station,
-                     core::SpecialCommand command) {
-    specials_[station].push_back(std::move(command));
+  // queue_* return false when the station's queue of that kind is full
+  // (set_station_queue_limit); the item is dropped and the drop journalled.
+  // Unbounded queues (the default) always accept.
+  bool queue_special(const std::string& station, core::SpecialCommand command,
+                     sim::SimTime at = sim::kEpoch) {
+    return enqueue(stripe_for(station).specials, station, std::move(command),
+                   kSpecialQueue, at);
   }
 
   [[nodiscard]] std::optional<core::SpecialCommand> fetch_special(
       const std::string& station) {
-    const auto it = specials_.find(station);
-    if (it == specials_.end() || it->second.empty()) return std::nullopt;
-    core::SpecialCommand command = it->second.front();
-    it->second.pop_front();
-    return command;
+    return dequeue(stripe_for(station).specials, station);
   }
 
   void record_special_result(core::SpecialExecution execution) {
@@ -134,47 +205,76 @@ class SouthamptonServer {
 
   // --- remote configuration (§V lesson) -----------------------------------
 
-  void queue_config_update(const std::string& station,
-                           core::ConfigUpdate update) {
-    config_updates_[station].push_back(std::move(update));
+  bool queue_config_update(const std::string& station,
+                           core::ConfigUpdate update,
+                           sim::SimTime at = sim::kEpoch) {
+    return enqueue(stripe_for(station).config_updates, station,
+                   std::move(update), kConfigQueue, at);
   }
 
   [[nodiscard]] std::optional<core::ConfigUpdate> fetch_config_update(
       const std::string& station) {
-    const auto it = config_updates_.find(station);
-    if (it == config_updates_.end() || it->second.empty()) {
-      return std::nullopt;
-    }
-    core::ConfigUpdate update = it->second.front();
-    it->second.pop_front();
-    return update;
+    return dequeue(stripe_for(station).config_updates, station);
   }
 
   // --- code updates ------------------------------------------------------
 
-  void queue_update(const std::string& station, core::UpdatePackage package) {
-    updates_[station].push_back(std::move(package));
+  bool queue_update(const std::string& station, core::UpdatePackage package,
+                    sim::SimTime at = sim::kEpoch) {
+    return enqueue(stripe_for(station).updates, station, std::move(package),
+                   kUpdateQueue, at);
   }
 
   [[nodiscard]] std::optional<core::UpdatePackage> fetch_update(
       const std::string& station) {
-    const auto it = updates_.find(station);
-    if (it == updates_.end() || it->second.empty()) return std::nullopt;
-    core::UpdatePackage package = it->second.front();
-    it->second.pop_front();
-    return package;
+    return dequeue(stripe_for(station).updates, station);
   }
 
-  void receive_beacon(core::UpdateBeacon beacon, sim::SimTime at) {
-    beacons_.push_back({std::move(beacon), at});
+  void receive_beacon(const std::string& station, core::UpdateBeacon beacon,
+                      sim::SimTime at) {
+    ++beacons_by_station_[station];
+    beacons_.push_back({station, std::move(beacon), at});
   }
 
   struct TimedBeacon {
+    std::string station;
     core::UpdateBeacon beacon;
     sim::SimTime at{};
   };
   [[nodiscard]] const std::vector<TimedBeacon>& beacons() const {
     return beacons_;
+  }
+
+  [[nodiscard]] std::int64_t beacons_from(const std::string& station) const {
+    const auto it = beacons_by_station_.find(station);
+    return it == beacons_by_station_.end() ? 0 : it->second;
+  }
+
+  // --- consumer read API --------------------------------------------------
+
+  // Every station the read side knows about — sync-ledger reporters, data
+  // uploaders, beacon senders — in name order. Stations that are only
+  // *targets* (queued commands, never heard from) are not listed: the
+  // directory is evidence of contact, not intent.
+  [[nodiscard]] std::vector<std::string> station_directory() const;
+
+  // Season rollup for one station; known=false when the directory has
+  // never heard of it (zero counters, not an error).
+  [[nodiscard]] proto::StationStatsResponse station_stats(
+      const std::string& station) const;
+
+  // Decodes one client query wire, serves it, and returns the encoded
+  // response (a typed response or a QueryError with reason "bad_wire",
+  // "bad_request" or "unknown_msg"). Read-only with respect to the
+  // ledgers; only the query counters move.
+  [[nodiscard]] std::string handle_query(const std::string& wire,
+                                         sim::SimTime now = sim::kEpoch);
+
+  [[nodiscard]] std::uint64_t queries_served() const {
+    return queries_served_;
+  }
+  [[nodiscard]] std::uint64_t queries_refused() const {
+    return queries_refused_;
   }
 
   // --- shard-message drains (sim/sharded_simulation.h) --------------------
@@ -207,35 +307,103 @@ class SouthamptonServer {
 
   // --- ledger introspection (tests / leak guards) -------------------------
 
-  // Number of stations with a materialised queue of each kind. Queues are
-  // created by queue_* only; fetch_* from an unknown station must leave
-  // these counts unchanged.
+  // Number of stations with a *non-empty* queue of each kind, summed over
+  // the stripes. Draining a station's queue releases its map entry, so a
+  // long-lived server's counts reflect pending work, not traffic history.
   [[nodiscard]] std::size_t special_queue_count() const {
-    return specials_.size();
+    std::size_t count = 0;
+    for (const auto& stripe : stripes_) count += stripe.specials.size();
+    return count;
   }
   [[nodiscard]] std::size_t update_queue_count() const {
-    return updates_.size();
+    std::size_t count = 0;
+    for (const auto& stripe : stripes_) count += stripe.updates.size();
+    return count;
   }
   [[nodiscard]] std::size_t config_update_queue_count() const {
-    return config_updates_.size();
+    std::size_t count = 0;
+    for (const auto& stripe : stripes_) count += stripe.config_updates.size();
+    return count;
   }
 
  private:
+  // Journal `a` codes for kIngestRejected (docs/OBSERVABILITY.md).
+  static constexpr int kSpecialQueue = 0;
+  static constexpr int kUpdateQueue = 1;
+  static constexpr int kConfigQueue = 2;
+
+  static constexpr std::size_t kDefaultIngestStripes = 8;
+
+  struct IngestStripe {
+    std::map<std::string, std::deque<core::SpecialCommand>> specials;
+    std::map<std::string, std::deque<core::UpdatePackage>> updates;
+    std::map<std::string, std::deque<core::ConfigUpdate>> config_updates;
+  };
+
+  // The stripe key is the station's sync group when it has one — a dGPS
+  // pair's control traffic lands together — and the station name otherwise.
+  [[nodiscard]] IngestStripe& stripe_for(const std::string& station) {
+    const std::string group = sync_.group_of(station);
+    return stripes_[stripe_index(group.empty() ? station : group)];
+  }
+  [[nodiscard]] std::size_t stripe_index(const std::string& key) const;
+
+  template <typename Item>
+  bool enqueue(std::map<std::string, std::deque<Item>>& queues,
+               const std::string& station, Item item, int kind,
+               sim::SimTime at) {
+    if (station_queue_limit_ != 0) {
+      const auto it = queues.find(station);
+      if (it != queues.end() && it->second.size() >= station_queue_limit_) {
+        ++ingest_rejected_;
+        if (hooks_.journal != nullptr) {
+          hooks_.journal->record(at.millis_since_epoch(),
+                                 obs::EventType::kIngestRejected,
+                                 "southampton", double(kind),
+                                 double(station_queue_limit_));
+        }
+        return false;
+      }
+    }
+    queues[station].push_back(std::move(item));
+    return true;
+  }
+
+  // Move-out pop; releases the station's map entry once its deque empties
+  // so drained queues cannot accumulate as permanent empty tombstones.
+  template <typename Item>
+  static std::optional<Item> dequeue(
+      std::map<std::string, std::deque<Item>>& queues,
+      const std::string& station) {
+    const auto it = queues.find(station);
+    if (it == queues.end() || it->second.empty()) return std::nullopt;
+    Item item = std::move(it->second.front());
+    it->second.pop_front();
+    if (it->second.empty()) queues.erase(it);
+    return item;
+  }
+
   void trim_received() {
     if (received_window_ == 0) return;
     while (received_.size() > received_window_) received_.pop_front();
   }
 
   fault::FaultOracle* oracle_ = nullptr;
+  obs::Hooks hooks_;
   core::SyncServer sync_;
   std::deque<ReceivedFile> received_;
   std::size_t received_window_ = 0;  // 0 = unbounded
+  std::map<std::string, ReceiptSummary> receipt_summaries_;
+  std::uint64_t compactions_ = 0;
   std::uint64_t files_received_ = 0;
   std::map<std::string, util::Bytes> bytes_by_station_;
   std::map<std::string, int> files_by_station_;
-  std::map<std::string, std::deque<core::SpecialCommand>> specials_;
-  std::map<std::string, std::deque<core::UpdatePackage>> updates_;
-  std::map<std::string, std::deque<core::ConfigUpdate>> config_updates_;
+  std::map<std::string, std::int64_t> beacons_by_station_;
+  std::vector<IngestStripe> stripes_{kDefaultIngestStripes};
+  std::size_t station_queue_limit_ = 0;  // 0 = unbounded
+  std::uint64_t ingest_rejected_ = 0;
+  std::uint64_t queries_served_ = 0;
+  std::uint64_t queries_refused_ = 0;
   std::vector<core::SpecialExecution> special_results_;
   std::vector<TimedBeacon> beacons_;
 };

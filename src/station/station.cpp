@@ -610,15 +610,16 @@ sim::Duration Station::apply_pending_update() {
   const auto outcome = gprs_.attempt_transfer(payload_size);
   if (!outcome.success) {
     // Download died; the package waits in Southampton for a retry.
-    server_.queue_update(config_.name, *package);
+    server_.queue_update(config_.name, *package, simulation_.now());
     return outcome.elapsed;
   }
   auto beacon = updates_.apply(*package);
   if (!beacon.verified) {
-    server_.queue_update(config_.name, *package);  // resend tomorrow
+    // Resend tomorrow.
+    server_.queue_update(config_.name, *package, simulation_.now());
   }
   // Immediate HTTP GET beacon (§VI): tiny, piggybacks on the session.
-  server_.receive_beacon(beacon, simulation_.now());
+  server_.receive_beacon(config_.name, beacon, simulation_.now());
   return outcome.elapsed + sim::seconds(5);
 }
 
@@ -646,7 +647,8 @@ sim::Duration Station::apply_pending_config() {
       util::Bytes{std::int64_t(update->canonical_encoding().size()) + 180};
   const auto outcome = gprs_.attempt_transfer(payload);
   if (!outcome.success) {
-    server_.queue_config_update(config_.name, *update);  // retry tomorrow
+    // Retry tomorrow.
+    server_.queue_config_update(config_.name, *update, simulation_.now());
     return outcome.elapsed;
   }
   const auto status = remote_config_.apply(*update);

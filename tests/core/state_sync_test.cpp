@@ -244,6 +244,113 @@ TEST(SyncServer, RecordRemoteStateUpdatesLedgerWithoutEcho) {
             PowerState::kState1);
 }
 
+TEST(SyncServer, FutureDatedReportCannotPinTheGroup) {
+  // Regression: freshness was computed as `now - reported_at > max_age`,
+  // so a report from the future had a *negative* age — fresh forever. One
+  // station with a drifted RTC claiming state 1 next week pinned its
+  // group's min-rule to state 1 indefinitely, long after its report should
+  // have aged out. Future-dated reports must be ignored outright.
+  SyncServer server;
+  server.set_max_report_age(sim::days(5));
+  server.assign_group("base", "pair");
+  server.assign_group("reference", "pair");
+  const sim::SimTime now = sim::to_time({2008, 9, 10, 12, 0, 0});
+  server.report_state("base", PowerState::kState3, now);
+  // reference's RTC runs a month fast: its state-1 report is "from" Oct 10.
+  server.report_state("reference", PowerState::kState1,
+                      now + sim::days(30));
+  // The future report is not evidence: base sees only its own state.
+  EXPECT_EQ(server.override_for_client("base", now), PowerState::kState3);
+  EXPECT_GT(server.future_reports_ignored(), 0u);
+  // Fast-forward past max_report_age: with the old `age > max` arithmetic
+  // the drifted report would *still* be fresh 40 days on. It only counts
+  // once real time reaches its claimed timestamp.
+  const sim::SimTime later = now + sim::days(31);
+  EXPECT_EQ(server.override_for_client("base", later), PowerState::kState1);
+}
+
+TEST(SyncServer, FutureReportIgnoredIsJournalled) {
+  SyncServer server;
+  obs::EventJournal journal;
+  server.set_hooks(obs::Hooks{nullptr, &journal});
+  const sim::SimTime now = sim::to_time({2008, 9, 10, 0, 0, 0});
+  server.report_state("base", PowerState::kState2, now + sim::hours(2));
+  EXPECT_FALSE(server.override_for_client("base", now).has_value());
+  ASSERT_EQ(journal.count(obs::EventType::kFutureReport), 1u);
+  const auto events = journal.of_type(obs::EventType::kFutureReport);
+  EXPECT_EQ(events[0].component, "state_sync");
+  EXPECT_DOUBLE_EQ(events[0].a, 7200.0);  // seconds ahead
+  EXPECT_DOUBLE_EQ(events[0].b, 2.0);     // the state it claimed
+  // Honest reports journal nothing.
+  server.report_state("base", PowerState::kState2, now);
+  EXPECT_EQ(server.override_for_client("base", now + sim::hours(1)),
+            PowerState::kState2);
+  EXPECT_EQ(journal.count(obs::EventType::kFutureReport), 1u);
+}
+
+TEST(SyncServer, ReportExactlyAtMaxAgeIsStillFresh) {
+  // The freshness comparison is strict (`age > max`): a report exactly
+  // max_report_age old still binds; one millisecond older does not.
+  SyncServer server;
+  server.set_max_report_age(sim::days(5));
+  const sim::SimTime reported = sim::to_time({2008, 9, 1, 0, 0, 0});
+  server.report_state("base", PowerState::kState1, reported);
+  EXPECT_EQ(server.override_for_client("base", reported + sim::days(5)),
+            PowerState::kState1);
+  EXPECT_FALSE(
+      server
+          .override_for_client(
+              "base", reported + sim::days(5) + sim::milliseconds(1))
+          .has_value());
+}
+
+TEST(SyncServer, GroupViewReflectsLedgerConvergence) {
+  SyncServer server;
+  server.assign_group("base", "pair");
+  server.assign_group("reference", "pair");
+  const sim::SimTime now = sim::to_time({2008, 9, 10, 0, 0, 0});
+
+  // No reports yet: two members, none fresh, not converged.
+  auto view = server.group_view("pair", now);
+  EXPECT_EQ(view.members, 2);
+  EXPECT_EQ(view.fresh, 0);
+  EXPECT_FALSE(view.converged);
+
+  server.report_state("base", PowerState::kState2, now);
+  view = server.group_view("pair", now);
+  EXPECT_EQ(view.fresh, 1);
+  EXPECT_FALSE(view.converged);
+
+  server.report_state("reference", PowerState::kState2, now);
+  view = server.group_view("pair", now);
+  EXPECT_EQ(view.fresh, 2);
+  EXPECT_TRUE(view.converged);
+  EXPECT_EQ(view.state, PowerState::kState2);
+
+  // Disagreement: fresh but not converged.
+  server.report_state("reference", PowerState::kState1, now);
+  view = server.group_view("pair", now);
+  EXPECT_EQ(view.fresh, 2);
+  EXPECT_FALSE(view.converged);
+
+  // Unknown group: the empty view.
+  view = server.group_view("ghost", now);
+  EXPECT_EQ(view.members, 0);
+  EXPECT_FALSE(view.converged);
+}
+
+TEST(SyncServer, ReportedStationsListsLedgerInNameOrder) {
+  SyncServer server;
+  server.report_state("weather", PowerState::kState3);
+  server.report_state("base", PowerState::kState2);
+  server.report_state("reference", PowerState::kState1);
+  const auto stations = server.reported_stations();
+  ASSERT_EQ(stations.size(), 3u);
+  EXPECT_EQ(stations[0], "base");
+  EXPECT_EQ(stations[1], "reference");
+  EXPECT_EQ(stations[2], "weather");
+}
+
 TEST(SyncServer, EndToEndKeepsStationsInLockstep) {
   // Both stations apply the min rule, so dGPS schedules match even though
   // their batteries differ.

@@ -58,6 +58,8 @@ TEST(EventJournal, EveryTypeHasAStableName) {
   EXPECT_STREQ(to_string(EventType::kPowerRestored), "power_restored");
   EXPECT_STREQ(to_string(EventType::kColdBoot), "cold_boot");
   EXPECT_STREQ(to_string(EventType::kWindowExhausted), "window_exhausted");
+  EXPECT_STREQ(to_string(EventType::kFutureReport), "future_report");
+  EXPECT_STREQ(to_string(EventType::kIngestRejected), "ingest_rejected");
 }
 
 TEST(Hooks, DefaultIsUninstrumented) {

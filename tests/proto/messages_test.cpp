@@ -58,6 +58,49 @@ TEST(Form, MissingKeyAndBadIntAreNullopt) {
   EXPECT_FALSE(decoded.value().get_int("note").has_value());
 }
 
+TEST(Form, ParseIntIsStrictFullString) {
+  // Regression: get_int used std::stoll, which accepted "42xyz" (returned
+  // 42), leading whitespace, and a '+' sign — a tampered-but-CRC-valid
+  // value could half-parse into the ledger. The from_chars replacement
+  // must consume the entire value or return nullopt.
+  EXPECT_EQ(Form::parse_int("42").value_or(-1), 42);
+  EXPECT_EQ(Form::parse_int("-7").value_or(1), -7);
+  EXPECT_EQ(Form::parse_int("0").value_or(-1), 0);
+  EXPECT_EQ(Form::parse_int("9223372036854775807").value_or(-1),
+            9223372036854775807LL);
+  EXPECT_FALSE(Form::parse_int("42xyz").has_value());
+  EXPECT_FALSE(Form::parse_int(" 42").has_value());
+  EXPECT_FALSE(Form::parse_int("42 ").has_value());
+  EXPECT_FALSE(Form::parse_int("+42").has_value());
+  EXPECT_FALSE(Form::parse_int("4.2").has_value());
+  EXPECT_FALSE(Form::parse_int("0x10").has_value());
+  EXPECT_FALSE(Form::parse_int("").has_value());
+  EXPECT_FALSE(Form::parse_int("-").has_value());
+  // Overflow is a parse failure, not UB or a throw.
+  EXPECT_FALSE(Form::parse_int("9223372036854775808").has_value());
+}
+
+TEST(Form, GetIntRefusesTrailingGarbage) {
+  Form form;
+  form.set("state", "2xyz");
+  form.set("clean", "2");
+  const auto decoded = Form::decode(form.encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_FALSE(decoded.value().get_int("state").has_value());
+  EXPECT_EQ(decoded.value().get_int("clean").value_or(-1), 2);
+}
+
+TEST(StateReportMsg, HalfNumericFieldRejected) {
+  // End-to-end form of the strict-parse regression: the wire is CRC-valid
+  // but rtc_ms carries trailing garbage; the typed decode must refuse it.
+  Form form;
+  form.set("msg", "state_report");
+  form.set("station", "base");
+  form.set("state", "2");
+  form.set("rtc_ms", "1000junk");
+  EXPECT_FALSE(StateReport::decode(form.encode()).ok());
+}
+
 TEST(StateReportMsg, RoundTrip) {
   StateReport report;
   report.station = "reference";

@@ -1,0 +1,162 @@
+// End-to-end consumer read API: encoded request wire in, encoded response
+// wire out, through SouthamptonServer::handle_query. The queries here go
+// through the same Form codec a deployed client would use, so the tests
+// also pin the refusal envelope (QueryError reasons) and the query
+// counters.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "proto/messages.h"
+#include "station/southampton.h"
+
+namespace gw::station {
+namespace {
+
+using namespace util::literals;
+
+SouthamptonServer seeded_server() {
+  SouthamptonServer server;
+  server.sync().assign_group("base", "dgps");
+  server.sync().assign_group("reference", "dgps");
+  server.receive_file("base", "dgps_1", 165_KiB, sim::SimTime{1000});
+  server.receive_file("base", "probes_1", 40_KiB, sim::SimTime{2000});
+  server.receive_file("reference", "dgps_r", 165_KiB, sim::SimTime{1500});
+  server.receive_beacon("base", {"basestation.py", "md5", true},
+                        sim::SimTime{3000});
+  server.sync().report_state("base", core::PowerState::kState2,
+                             sim::SimTime{4000});
+  server.sync().report_state("reference", core::PowerState::kState2,
+                             sim::SimTime{4100});
+  return server;
+}
+
+TEST(ServerQuery, DirectoryListsEveryKnownStationSorted) {
+  auto server = seeded_server();
+  server.sync().report_state("weather", core::PowerState::kState3,
+                             sim::SimTime{100});
+  const auto wire = server.handle_query(proto::DirectoryRequest{}.encode(),
+                                        sim::SimTime{5000});
+  const auto response = proto::DirectoryResponse::decode(wire);
+  ASSERT_TRUE(response.ok());
+  const auto& stations = response.value().stations;
+  ASSERT_EQ(stations.size(), 3u);
+  EXPECT_EQ(stations[0], "base");
+  EXPECT_EQ(stations[1], "reference");
+  EXPECT_EQ(stations[2], "weather");
+  EXPECT_EQ(server.queries_served(), 1u);
+  EXPECT_EQ(server.queries_refused(), 0u);
+}
+
+TEST(ServerQuery, StationStatsRollUpFilesBytesAndBeacons) {
+  auto server = seeded_server();
+  proto::StationStatsRequest request;
+  request.station = "base";
+  const auto wire = server.handle_query(request.encode(), sim::SimTime{5000});
+  const auto response = proto::StationStatsResponse::decode(wire);
+  ASSERT_TRUE(response.ok());
+  EXPECT_TRUE(response.value().known);
+  EXPECT_EQ(response.value().files, 2);
+  EXPECT_EQ(response.value().bytes, (205_KiB).count());
+  EXPECT_EQ(response.value().beacons, 1);
+}
+
+TEST(ServerQuery, StatsSurviveCompactionExactly) {
+  auto server = seeded_server();
+  server.compact_received();
+  proto::StationStatsRequest request;
+  request.station = "base";
+  const auto wire = server.handle_query(request.encode(), sim::SimTime{5000});
+  const auto response = proto::StationStatsResponse::decode(wire);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response.value().files, 2);
+  EXPECT_EQ(response.value().bytes, (205_KiB).count());
+}
+
+TEST(ServerQuery, UnknownStationIsKnownFalseNotAnError) {
+  auto server = seeded_server();
+  proto::StationStatsRequest request;
+  request.station = "ghost";
+  const auto wire = server.handle_query(request.encode(), sim::SimTime{5000});
+  const auto response = proto::StationStatsResponse::decode(wire);
+  ASSERT_TRUE(response.ok());
+  EXPECT_FALSE(response.value().known);
+  EXPECT_EQ(response.value().files, 0);
+  EXPECT_EQ(server.queries_served(), 1u);
+}
+
+TEST(ServerQuery, GroupStatusReflectsLedgerConvergence) {
+  auto server = seeded_server();
+  proto::GroupStatusRequest request;
+  request.group = "dgps";
+  auto wire = server.handle_query(request.encode(), sim::SimTime{5000});
+  auto response = proto::GroupStatusResponse::decode(wire);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response.value().members, 2);
+  EXPECT_EQ(response.value().fresh, 2);
+  EXPECT_TRUE(response.value().converged);
+  EXPECT_EQ(response.value().state, core::PowerState::kState2);
+
+  // One member disagrees: still fresh, no longer converged.
+  server.sync().report_state("reference", core::PowerState::kState1,
+                             sim::SimTime{4200});
+  wire = server.handle_query(request.encode(), sim::SimTime{5000});
+  response = proto::GroupStatusResponse::decode(wire);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response.value().fresh, 2);
+  EXPECT_FALSE(response.value().converged);
+
+  // An unknown group is an empty view, not an error.
+  proto::GroupStatusRequest unknown;
+  unknown.group = "nope";
+  wire = server.handle_query(unknown.encode(), sim::SimTime{5000});
+  response = proto::GroupStatusResponse::decode(wire);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response.value().members, 0);
+  EXPECT_FALSE(response.value().converged);
+}
+
+TEST(ServerQuery, RefusalEnvelopeCodes) {
+  auto server = seeded_server();
+  // Corrupted wire: flip a byte in a valid request.
+  std::string corrupt = proto::DirectoryRequest{}.encode();
+  corrupt[0] ^= 0x01;
+  auto error = proto::QueryError::decode(
+      server.handle_query(corrupt, sim::SimTime{5000}));
+  ASSERT_TRUE(error.ok());
+  EXPECT_EQ(error.value().reason, "bad_wire");
+
+  // CRC-valid but not a request the server answers.
+  proto::Form stray;
+  stray.set("msg", "state_report");
+  error = proto::QueryError::decode(
+      server.handle_query(stray.encode(), sim::SimTime{5000}));
+  ASSERT_TRUE(error.ok());
+  EXPECT_EQ(error.value().reason, "unknown_msg");
+
+  // Right tag, missing fields.
+  proto::Form malformed;
+  malformed.set("msg", "stats_request");
+  error = proto::QueryError::decode(
+      server.handle_query(malformed.encode(), sim::SimTime{5000}));
+  ASSERT_TRUE(error.ok());
+  EXPECT_EQ(error.value().reason, "bad_request");
+
+  EXPECT_EQ(server.queries_served(), 0u);
+  EXPECT_EQ(server.queries_refused(), 3u);
+}
+
+TEST(ServerQuery, QueriesNeverGrowTheLedgers) {
+  auto server = seeded_server();
+  const auto directory_before = server.station_directory();
+  for (int i = 0; i < 50; ++i) {
+    proto::StationStatsRequest request;
+    request.station = "ghost" + std::to_string(i);
+    (void)server.handle_query(request.encode(), sim::SimTime{5000});
+  }
+  EXPECT_EQ(server.station_directory(), directory_before);
+  EXPECT_EQ(server.files_received(), 3u);
+}
+
+}  // namespace
+}  // namespace gw::station

@@ -62,9 +62,12 @@ TEST(Southampton, UpdateQueueAndBeacons) {
   beacon.name = "basestation.py";
   beacon.md5 = package.expected_md5;
   beacon.verified = true;
-  server.receive_beacon(beacon, sim::SimTime{7777});
+  server.receive_beacon("base", beacon, sim::SimTime{7777});
   ASSERT_EQ(server.beacons().size(), 1u);
   EXPECT_TRUE(server.beacons()[0].beacon.verified);
+  EXPECT_EQ(server.beacons()[0].station, "base");
+  EXPECT_EQ(server.beacons_from("base"), 1);
+  EXPECT_EQ(server.beacons_from("ghost"), 0);
 }
 
 TEST(Southampton, QueriesForUnknownStationsNeverGrowLedgers) {
@@ -93,6 +96,133 @@ TEST(Southampton, QueriesForUnknownStationsNeverGrowLedgers) {
   EXPECT_EQ(server.config_update_queue_count(), 1u);
   // The queued work is still there.
   EXPECT_EQ(server.fetch_special("base")->id, "s1");
+}
+
+TEST(Southampton, DrainedQueuesReleaseTheirMapEntries) {
+  // Regression: fetch_* used to leave a drained-empty deque materialised
+  // in the map forever, so *_queue_count() reported phantom queues — on a
+  // long-lived server every station that ever received one command counted
+  // as "pending work" for the rest of the season.
+  SouthamptonServer server;
+  for (int i = 0; i < 20; ++i) {
+    const std::string station = "s" + std::to_string(i);
+    server.queue_special(station, {.id = "cmd", .script = "ls"});
+    server.queue_update(station, core::UpdatePackage{});
+    core::ConfigUpdate update;
+    update.version = 1;
+    update.seal();
+    server.queue_config_update(station, update);
+  }
+  EXPECT_EQ(server.special_queue_count(), 20u);
+  for (int i = 0; i < 20; ++i) {
+    const std::string station = "s" + std::to_string(i);
+    EXPECT_TRUE(server.fetch_special(station).has_value());
+    EXPECT_TRUE(server.fetch_update(station).has_value());
+    EXPECT_TRUE(server.fetch_config_update(station).has_value());
+  }
+  // Every queue drained to empty: no tombstones remain.
+  EXPECT_EQ(server.special_queue_count(), 0u);
+  EXPECT_EQ(server.update_queue_count(), 0u);
+  EXPECT_EQ(server.config_update_queue_count(), 0u);
+  // Partially drained queues still count.
+  server.queue_special("s0", {.id = "a", .script = "x"});
+  server.queue_special("s0", {.id = "b", .script = "y"});
+  EXPECT_TRUE(server.fetch_special("s0").has_value());
+  EXPECT_EQ(server.special_queue_count(), 1u);
+}
+
+TEST(Southampton, BoundedQueueRejectsAndJournalsTheDrop) {
+  SouthamptonServer server;
+  obs::EventJournal journal;
+  server.set_hooks(obs::Hooks{nullptr, &journal});
+  server.set_station_queue_limit(2);
+  EXPECT_TRUE(server.queue_special("base", {.id = "s1", .script = "a"}));
+  EXPECT_TRUE(server.queue_special("base", {.id = "s2", .script = "b"}));
+  // Third in: the per-station bound is full — explicit backpressure.
+  EXPECT_FALSE(server.queue_special("base", {.id = "s3", .script = "c"},
+                                    sim::SimTime{4200}));
+  EXPECT_EQ(server.ingest_rejected(), 1u);
+  ASSERT_EQ(journal.count(obs::EventType::kIngestRejected), 1u);
+  const auto drops = journal.of_type(obs::EventType::kIngestRejected);
+  EXPECT_EQ(drops[0].time_ms, 4200);
+  EXPECT_DOUBLE_EQ(drops[0].a, 0.0);  // special queue
+  EXPECT_DOUBLE_EQ(drops[0].b, 2.0);  // the limit that was full
+  // Other stations and other kinds are unaffected.
+  EXPECT_TRUE(server.queue_special("reference", {.id = "r1", .script = "d"}));
+  EXPECT_TRUE(server.queue_update("base", core::UpdatePackage{}));
+  // Draining one slot readmits.
+  EXPECT_TRUE(server.fetch_special("base").has_value());
+  EXPECT_TRUE(server.queue_special("base", {.id = "s3", .script = "c"}));
+  // The accepted order survived the drop: s2 then s3.
+  EXPECT_EQ(server.fetch_special("base")->id, "s2");
+  EXPECT_EQ(server.fetch_special("base")->id, "s3");
+}
+
+TEST(Southampton, UnboundedQueuesNeverReject) {
+  SouthamptonServer server;
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_TRUE(server.queue_special("base", {.id = "x", .script = "y"}));
+  }
+  EXPECT_EQ(server.ingest_rejected(), 0u);
+}
+
+TEST(Southampton, IngestStripesPartitionByGroupAndRehashSafely) {
+  SouthamptonServer server;
+  server.sync().assign_group("base", "dgps");
+  server.sync().assign_group("reference", "dgps");
+  server.queue_special("base", {.id = "b1", .script = "a"});
+  server.queue_special("reference", {.id = "r1", .script = "b"});
+  server.queue_special("solo", {.id = "x1", .script = "c"});
+  EXPECT_EQ(server.ingest_stripes(), 8u);
+  // Repartitioning re-hashes every queue without losing or reordering work.
+  server.set_ingest_stripes(3);
+  EXPECT_EQ(server.ingest_stripes(), 3u);
+  EXPECT_EQ(server.special_queue_count(), 3u);
+  EXPECT_EQ(server.fetch_special("base")->id, "b1");
+  EXPECT_EQ(server.fetch_special("reference")->id, "r1");
+  EXPECT_EQ(server.fetch_special("solo")->id, "x1");
+  EXPECT_EQ(server.special_queue_count(), 0u);
+  // A zero request clamps to one stripe rather than dividing by zero.
+  server.set_ingest_stripes(0);
+  EXPECT_EQ(server.ingest_stripes(), 1u);
+}
+
+TEST(Southampton, CompactionFoldsReceiptsButPreservesExactTotals) {
+  SouthamptonServer server;
+  server.receive_file("base", "f1", 10_KiB, sim::SimTime{1000});
+  server.receive_file("base", "f2", 20_KiB, sim::SimTime{2000});
+  server.receive_file("reference", "g1", 5_KiB, sim::SimTime{1500});
+  EXPECT_EQ(server.compact_received(), 3u);
+  EXPECT_TRUE(server.received().empty());
+  EXPECT_EQ(server.compactions(), 1u);
+
+  // The summaries account for exactly what was folded...
+  const auto& summaries = server.receipt_summaries();
+  ASSERT_EQ(summaries.size(), 2u);
+  EXPECT_EQ(summaries.at("base").files, 2);
+  EXPECT_EQ(summaries.at("base").bytes, 30_KiB);
+  EXPECT_EQ(summaries.at("base").first_at, sim::SimTime{1000});
+  EXPECT_EQ(summaries.at("base").last_at, sim::SimTime{2000});
+  EXPECT_EQ(summaries.at("reference").files, 1);
+  // ...and the lifetime counters did not move.
+  EXPECT_EQ(server.files_received(), 3u);
+  EXPECT_EQ(server.files_from("base"), 2);
+  EXPECT_EQ(server.bytes_from("base"), 30_KiB);
+
+  // A second round accumulates into the same summaries.
+  server.receive_file("base", "f3", 1_KiB, sim::SimTime{9000});
+  EXPECT_EQ(server.compact_received(), 1u);
+  EXPECT_EQ(summaries.at("base").files, 3);
+  EXPECT_EQ(summaries.at("base").bytes, 31_KiB);
+  EXPECT_EQ(summaries.at("base").last_at, sim::SimTime{9000});
+  // Summaries + raw deque always equal the counters: here the deque is
+  // empty, so the summaries alone carry the season.
+  EXPECT_EQ(std::uint64_t(summaries.at("base").files +
+                          summaries.at("reference").files),
+            server.files_received());
+  // Compacting nothing is a no-op, not a round.
+  EXPECT_EQ(server.compact_received(), 0u);
+  EXPECT_EQ(server.compactions(), 2u);
 }
 
 TEST(Southampton, ReceivedWindowCapsLedgerButTotalsStayExact) {
@@ -138,7 +268,8 @@ TEST(Southampton, DrainsMoveLedgersButKeepExactTotals) {
   SouthamptonServer server;
   server.receive_file("base", "a.log", 2_KiB, sim::SimTime{10});
   server.receive_file("base", "b.log", 3_KiB, sim::SimTime{20});
-  server.receive_beacon({"gw.tar.gz", "abc123", true}, sim::SimTime{30});
+  server.receive_beacon("base", {"gw.tar.gz", "abc123", true},
+                        sim::SimTime{30});
   server.record_special_result({"sp1", sim::SimTime{40}, sim::SimTime{50}});
 
   const auto received = server.drain_received();
