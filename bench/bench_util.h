@@ -66,6 +66,22 @@ inline bool fleet_speed_enabled() {
   return env != nullptr && env[0] != '\0' && env[0] != '0';
 }
 
+// Replay mode for bench_fork_warmup: GW_BENCH_FORK_MODE=cold replays every
+// branch trial from day 0 instead of restoring the day-20 snapshot.
+// scripts/check.sh byte-diffs the export across the two modes — the fork is
+// only an optimisation if no exported byte can tell the difference.
+inline bool fork_mode_cold() {
+  const char* env = std::getenv("GW_BENCH_FORK_MODE");
+  return env != nullptr && std::string(env) == "cold";
+}
+
+// Opt-in switch for the host-dependent warm-prefix speedup measurement
+// (BENCH_fork_warmup_speed.json). Off by default, like GW_BENCH_FLEET_SPEED.
+inline bool fork_speed_enabled() {
+  const char* env = std::getenv("GW_BENCH_FORK_SPEED");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
 inline void heading(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
 }

@@ -35,13 +35,22 @@
 #      GW_BENCH_THREADS=1 and the defaults — and byte-diffs the two
 #      BENCH_server_load.json exports. Leaves the export in the repo root;
 #      disabled together with leg 5 via GW_CHECK_BENCH=0;
-#   8. gwlint (always-on once built — it compiles with the repo): the
+#   8. fork warm-prefix byte-identity gate: when build/bench/
+#      bench_fork_warmup exists, runs the branched faulted season four
+#      ways — forked from the day-20 snapshot and replayed cold
+#      (GW_BENCH_FORK_MODE=cold), each at GW_BENCH_THREADS=1 and the
+#      default pool — and byte-diffs the four BENCH_fork_warmup.json
+#      exports. Any difference means the snapshot/restore path changed an
+#      observable byte and fails the check (docs/SNAPSHOT.md). Leaves the
+#      export and the BENCH_fork_warmup.gwsnap container in the repo root;
+#      disabled together with leg 5 via GW_CHECK_BENCH=0;
+#   9. gwlint (always-on once built — it compiles with the repo): the
 #      project's own analyzer (tools/gwlint) over src/ bench/ tests/
 #      examples/ tools/ — determinism bans (wall clocks, ambient entropy,
 #      getenv), layer-DAG enforcement against tools/gwlint/layers.toml,
 #      unordered-container iteration, header hygiene. Rule catalog and
 #      suppression policy: docs/STATIC_ANALYSIS.md;
-#   9. clang-tidy over the compilation database exported by CMake
+#  10. clang-tidy over the compilation database exported by CMake
 #      (build/compile_commands.json, curated checks in .clang-tidy) —
 #      gated on clang-tidy being installed, like the clang-format leg.
 #
@@ -184,7 +193,40 @@ else
   echo "skip: server load determinism gate (GW_CHECK_BENCH=0)"
 fi
 
-# --- 8. gwlint -------------------------------------------------------------
+# --- 8. fork warm-prefix byte-identity gate --------------------------------
+if [ "${GW_CHECK_BENCH:-1}" = "1" ]; then
+  if [ -x build/bench/bench_fork_warmup ]; then
+    echo "== fork warmup: fork vs cold replay, 1 thread vs defaults (byte-diff gate)"
+    if GW_BENCH_FORK_MODE=cold GW_BENCH_THREADS=1 \
+         ./build/bench/bench_fork_warmup >/dev/null &&
+       mv BENCH_fork_warmup.json BENCH_fork_warmup.cold1.json &&
+       GW_BENCH_FORK_MODE=cold ./build/bench/bench_fork_warmup >/dev/null &&
+       mv BENCH_fork_warmup.json BENCH_fork_warmup.cold.json &&
+       GW_BENCH_THREADS=1 ./build/bench/bench_fork_warmup >/dev/null &&
+       mv BENCH_fork_warmup.json BENCH_fork_warmup.fork1.json &&
+       ./build/bench/bench_fork_warmup >/dev/null &&
+       cmp -s BENCH_fork_warmup.json BENCH_fork_warmup.cold1.json &&
+       cmp -s BENCH_fork_warmup.json BENCH_fork_warmup.cold.json &&
+       cmp -s BENCH_fork_warmup.json BENCH_fork_warmup.fork1.json; then
+      rm -f BENCH_fork_warmup.cold1.json BENCH_fork_warmup.cold.json \
+            BENCH_fork_warmup.fork1.json
+      echo "ok: BENCH_fork_warmup.json byte-identical forked vs cold," \
+           "1 vs N threads"
+    else
+      echo "FAIL: fork-resumed season differs from cold replay (compare" \
+           "BENCH_fork_warmup.json vs BENCH_fork_warmup.cold.json /" \
+           "BENCH_fork_warmup.cold1.json / BENCH_fork_warmup.fork1.json;" \
+           "docs/SNAPSHOT.md)"
+      failures=$((failures + 1))
+    fi
+  else
+    echo "skip: bench_fork_warmup not built (build the default tree first)"
+  fi
+else
+  echo "skip: fork warm-prefix gate (GW_CHECK_BENCH=0)"
+fi
+
+# --- 9. gwlint -------------------------------------------------------------
 if [ -x build/tools/gwlint ]; then
   echo "== gwlint (determinism + layering + hygiene rules)"
   if ./build/tools/gwlint --root . --config tools/gwlint/layers.toml \
@@ -199,7 +241,7 @@ else
   echo "skip: gwlint not built (build the default tree first)"
 fi
 
-# --- 9. clang-tidy ---------------------------------------------------------
+# --- 10. clang-tidy --------------------------------------------------------
 if command -v clang-tidy >/dev/null 2>&1; then
   if [ -f build/compile_commands.json ]; then
     echo "== clang-tidy (curated checks from .clang-tidy, src/ TUs)"

@@ -63,11 +63,25 @@ class DataPriorityAnalyzer {
   [[nodiscard]] DataPriority last_batch() const { return last_batch_; }
   [[nodiscard]] int urgent_batches() const { return urgent_batches_; }
 
+  template <class Archive>
+  void persist(Archive& ar) {
+    ar.value(per_probe_);
+    ar.value(last_batch_);
+    ar.value(urgent_batches_);
+  }
+
  private:
   struct Channel {
     bool primed = false;
     double fast = 0.0;
     double slow = 0.0;
+
+    template <class Archive>
+    void persist(Archive& ar) {
+      ar.value(primed);
+      ar.value(fast);
+      ar.value(slow);
+    }
 
     // Divergence in reference sigmas after folding in the new sample.
     double advance(double x, const DataPriorityConfig& config,
@@ -115,6 +129,13 @@ class DataPriorityAnalyzer {
     Channel conductivity;
     Channel pressure;
     int consecutive = 0;
+
+    template <class Archive>
+    void persist(Archive& ar) {
+      ar.value(conductivity);
+      ar.value(pressure);
+      ar.value(consecutive);
+    }
   };
 
   DataPriorityConfig config_;

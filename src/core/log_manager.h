@@ -98,11 +98,24 @@ class LogManager {
     return util::transfer_seconds(util::Bytes{std::int64_t(bytes)}, rate);
   }
 
+  template <class Archive>
+  void persist(Archive& ar) {
+    ar.value(usage_);
+    ar.value(total_suppressed_);
+  }
+
  private:
   struct Usage {
     std::size_t bytes_today = 0;
     std::size_t suppressed_records = 0;
     std::size_t suppressed_bytes = 0;
+
+    template <class Archive>
+    void persist(Archive& ar) {
+      ar.value(bytes_today);
+      ar.value(suppressed_records);
+      ar.value(suppressed_bytes);
+    }
   };
 
   util::Logger& logger_;

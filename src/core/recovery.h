@@ -153,6 +153,16 @@ class RecoveryManager {
   [[nodiscard]] int ntp_resyncs() const { return ntp_resyncs_; }
   [[nodiscard]] int deferrals() const { return deferrals_; }
 
+  template <class Archive>
+  void persist(Archive& ar) {
+    ar.value(rng_);
+    ar.value(last_successful_run_);
+    ar.value(attempts_);
+    ar.value(gps_resyncs_);
+    ar.value(ntp_resyncs_);
+    ar.value(deferrals_);
+  }
+
  private:
   void record_outcome(RecoveryOutcome outcome) {
     const std::int64_t now_ms = simulation_.now().millis_since_epoch();

@@ -41,6 +41,13 @@ struct ConfigUpdate {
 
   // Stamps the checksum (done in Southampton before sending).
   void seal() { md5 = util::Md5::hex_digest(canonical_encoding()); }
+
+  template <class Archive>
+  void persist(Archive& ar) {
+    ar.value(version);
+    ar.value(entries);
+    ar.value(md5);
+  }
 };
 
 class RemoteConfig {
@@ -98,6 +105,14 @@ class RemoteConfig {
     const auto text = get(key);
     if (!text.has_value()) return fallback;
     return *text == "1" || *text == "true";
+  }
+
+  template <class Archive>
+  void persist(Archive& ar) {
+    ar.value(entries_);
+    ar.value(version_);
+    ar.value(applied_);
+    ar.value(rejected_);
   }
 
  private:

@@ -24,6 +24,14 @@ struct SpecialCommand {
   std::string script;
   sim::Duration runtime = sim::seconds(30);
   util::Bytes output_size = util::Bytes{2048};  // lands in the logfile
+
+  template <class Archive>
+  void persist(Archive& ar) {
+    ar.value(id);
+    ar.value(script);
+    ar.value(runtime);
+    ar.value(output_size);
+  }
 };
 
 struct SpecialExecution {
@@ -32,6 +40,13 @@ struct SpecialExecution {
   // When the output (inside the daily log upload) becomes visible in
   // Southampton — the §VI latency observation.
   sim::SimTime results_visible_at{};
+
+  template <class Archive>
+  void persist(Archive& ar) {
+    ar.value(id);
+    ar.value(executed_at);
+    ar.value(results_visible_at);
+  }
 };
 
 }  // namespace gw::core

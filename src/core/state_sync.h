@@ -105,6 +105,13 @@ class SyncServer {
     std::string station;
     PowerState state = PowerState::kState0;
     sim::SimTime reported_at{};
+
+    template <class Archive>
+    void persist(Archive& ar) {
+      ar.value(station);
+      ar.value(state);
+      ar.value(reported_at);
+    }
   };
 
   // Off by default: the serial server keeps its zero-overhead ledger.
@@ -284,10 +291,31 @@ class SyncServer {
     return view;
   }
 
+  // Snapshot support (docs/SNAPSHOT.md). Group membership is configuration
+  // (re-declared by the fleet assembly), but it is cheap and saving it makes
+  // the section self-describing; hooks are wiring and excluded.
+  template <class Archive>
+  void persist(Archive& ar) {
+    ar.value(latest_);
+    ar.value(future_reports_ignored_);
+    ar.value(report_log_enabled_);
+    ar.value(report_log_);
+    ar.value(group_of_);
+    ar.value(group_overrides_);
+    ar.value(manual_override_);
+    ar.value(max_report_age_);
+  }
+
  private:
   struct Entry {
     PowerState state = PowerState::kState0;
     sim::SimTime reported_at{};
+
+    template <class Archive>
+    void persist(Archive& ar) {
+      ar.value(state);
+      ar.value(reported_at);
+    }
   };
 
   // Folds a ledger entry into the running minimum iff it is still fresh.

@@ -24,6 +24,13 @@ struct UpdatePackage {
   std::string name;      // e.g. "basestation.py"
   std::string payload;   // file contents
   std::string expected_md5;  // computed in Southampton before sending
+
+  template <class Archive>
+  void persist(Archive& ar) {
+    ar.value(name);
+    ar.value(payload);
+    ar.value(expected_md5);
+  }
 };
 
 struct UpdateBeacon {
@@ -34,6 +41,13 @@ struct UpdateBeacon {
   [[nodiscard]] std::string http_get() const {
     return "GET /update_result?file=" + name + "&md5=" + md5 +
            "&ok=" + (verified ? "1" : "0");
+  }
+
+  template <class Archive>
+  void persist(Archive& ar) {
+    ar.value(name);
+    ar.value(md5);
+    ar.value(verified);
   }
 };
 
@@ -78,6 +92,15 @@ class UpdateManager {
   [[nodiscard]] int downloads() const { return downloads_; }
   [[nodiscard]] int installs() const { return installs_; }
   [[nodiscard]] int rejections() const { return rejections_; }
+
+  template <class Archive>
+  void persist(Archive& ar) {
+    ar.value(rng_);
+    ar.value(installed_);
+    ar.value(downloads_);
+    ar.value(installs_);
+    ar.value(rejections_);
+  }
 
  private:
   UpdateManagerConfig config_;

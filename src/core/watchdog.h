@@ -14,6 +14,7 @@
 
 #include "obs/journal.h"
 #include "sim/simulation.h"
+#include "snapshot/error.h"
 
 namespace gw::core {
 
@@ -70,6 +71,21 @@ class Watchdog {
   [[nodiscard]] sim::Duration remaining() const {
     if (!pending_.has_value()) return sim::Duration{0};
     return deadline_ - simulation_.now();
+  }
+
+  // Snapshot support (docs/SNAPSHOT.md). The pending expiry event captures
+  // an arbitrary on_expire closure, which cannot be rebuilt from data — a
+  // save requires the watchdog disarmed (checkpoints land between runs).
+  template <class Archive>
+  void persist(Archive& ar) {
+    if constexpr (Archive::kIsSaver) {
+      if (pending_.has_value()) {
+        throw snapshot::SnapshotError(snapshot::SnapshotErrc::kNotQuiescent,
+                                      "watchdog armed", "watchdog");
+      }
+    }
+    ar.value(expired_);
+    ar.value(expiry_count_);
   }
 
  private:

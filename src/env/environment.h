@@ -55,6 +55,20 @@ class Environment {
     return rng_.fork(name);
   }
 
+  // Snapshot support (docs/SNAPSHOT.md): every model's stochastic state,
+  // in construction order. Configs are rebuilt with the world, not saved.
+  template <class Archive>
+  void persist(Archive& ar) {
+    ar.value(rng_);
+    ar.value(solar_);
+    ar.value(wind_);
+    ar.value(temperature_);
+    ar.value(snow_);
+    ar.value(melt_);
+    ar.value(interference_);
+    ar.value(gps_sky_);
+  }
+
  private:
   util::Rng rng_;
   SolarModel solar_;

@@ -70,6 +70,13 @@ class GpsSky {
 
   [[nodiscard]] const GpsSkyConfig& config() const { return config_; }
 
+  template <class Archive>
+  void persist(Archive& ar) {
+    ar.value(rng_);
+    ar.value(jitter_hour_);
+    ar.value(jitter_state_);
+  }
+
  private:
   void refresh_jitter(sim::SimTime t) {
     const std::int64_t hour = t.millis_since_epoch() / 3'600'000;

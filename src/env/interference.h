@@ -48,6 +48,11 @@ class InterferenceModel {
 
   [[nodiscard]] RadioSite site() const { return site_; }
 
+  template <class Archive>
+  void persist(Archive& ar) {
+    ar.value(rng_);
+  }
+
  private:
   InterferenceConfig config_;
   RadioSite site_;

@@ -49,6 +49,13 @@ class MeltModel {
 
   [[nodiscard]] const MeltConfig& config() const { return config_; }
 
+  template <class Archive>
+  void persist(Archive& ar) {
+    ar.value(rng_);
+    ar.value(day_);
+    ar.value(index_);
+  }
+
  private:
   void advance_to(sim::SimTime t, TemperatureModel& temperature);
 

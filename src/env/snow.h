@@ -53,6 +53,14 @@ class SnowModel {
   [[nodiscard]] bool storm_today(sim::SimTime t,
                                  TemperatureModel& temperature);
 
+  template <class Archive>
+  void persist(Archive& ar) {
+    ar.value(rng_);
+    ar.value(day_);
+    ar.value(depth_m_);
+    ar.value(storm_today_);
+  }
+
  private:
   void advance_to(sim::SimTime t, TemperatureModel& temperature);
 

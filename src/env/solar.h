@@ -37,6 +37,16 @@ class SolarModel {
 
   [[nodiscard]] const SolarConfig& config() const { return config_; }
 
+  // Snapshot support (docs/SNAPSHOT.md): the AR(1) cloud state and the RNG
+  // stream are dynamics; the per-day geometry memo is deliberately not
+  // saved — it is recomputed bit-identically on first use.
+  template <class Archive>
+  void persist(Archive& ar) {
+    ar.value(rng_);
+    ar.value(cloud_day_);
+    ar.value(cloud_state_);
+  }
+
  private:
   // Memoized per-day geometry: declination and daylight length depend only
   // on (latitude, day of year), yet the charger integrates irradiance every

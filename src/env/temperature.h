@@ -33,6 +33,13 @@ class TemperatureModel {
     return air(t) + util::Celsius{3.0};
   }
 
+  template <class Archive>
+  void persist(Archive& ar) {
+    ar.value(rng_);
+    ar.value(day_);
+    ar.value(noise_state_);
+  }
+
  private:
   TemperatureConfig config_;
   util::Rng rng_;

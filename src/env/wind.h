@@ -29,6 +29,15 @@ class WindModel {
 
   [[nodiscard]] const WindConfig& config() const { return config_; }
 
+  template <class Archive>
+  void persist(Archive& ar) {
+    ar.value(rng_);
+    ar.value(day_);
+    ar.value(hour_);
+    ar.value(daily_mean_);
+    ar.value(gust_state_);
+  }
+
  private:
   void refresh_day(sim::SimTime t);
   void refresh_hour(sim::SimTime t);

@@ -154,6 +154,18 @@ class FaultOracle {
   [[nodiscard]] const FaultPlan& plan() const { return plan_; }
   [[nodiscard]] sim::SimTime origin() const { return origin_; }
 
+  // Appends one window to the anchored plan. The Monte Carlo fork path uses
+  // this to give each branched trial its own extra adversity on top of the
+  // shared scripted season (docs/SNAPSHOT.md).
+  void add_window(FaultWindow window) { plan_.add(window); }
+
+  // Snapshot support: only the trip counters are dynamics — the plan and
+  // origin are configuration the restored world is rebuilt with.
+  template <class Archive>
+  void persist(Archive& ar) {
+    ar.value(trips_);
+  }
+
  private:
   FaultPlan plan_;
   sim::SimTime origin_{};

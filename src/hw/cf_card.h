@@ -47,6 +47,12 @@ class CompactFlashCard {
   struct FileInfo {
     util::Bytes size{0};
     bool corrupted = false;
+
+    template <class Archive>
+    void persist(Archive& ar) {
+      ar.value(size);
+      ar.value(corrupted);
+    }
   };
 
   struct ScanReport {
@@ -198,10 +204,25 @@ class CompactFlashCard {
 
   [[nodiscard]] const CfCardConfig& config() const { return config_; }
 
+  // Snapshot support (docs/SNAPSHOT.md).
+  template <class Archive>
+  void persist(Archive& ar) {
+    ar.value(rng_);
+    ar.value(files_);
+    ar.value(in_flight_);
+    ar.value(metadata_corrupted_);
+  }
+
  private:
   struct InFlight {
     std::string name;
     util::Bytes size{0};
+
+    template <class Archive>
+    void persist(Archive& ar) {
+      ar.value(name);
+      ar.value(size);
+    }
   };
 
   CfCardConfig config_;

@@ -24,6 +24,7 @@
 #include "fault/fault.h"
 #include "power/power_system.h"
 #include "sim/simulation.h"
+#include "snapshot/error.h"
 #include "util/result.h"
 #include "util/rng.h"
 #include "util/units.h"
@@ -33,6 +34,12 @@ namespace gw::hw {
 struct DgpsFile {
   std::string name;
   util::Bytes size;
+
+  template <class Archive>
+  void persist(Archive& ar) {
+    ar.value(name);
+    ar.value(size);
+  }
 };
 
 struct DgpsConfig {
@@ -163,6 +170,23 @@ class DgpsReceiver {
   }
 
   [[nodiscard]] const DgpsConfig& config() const { return config_; }
+
+  // Snapshot support (docs/SNAPSHOT.md). A reading in flight holds an
+  // external completion callback the snapshot cannot reconstruct, so a save
+  // while powered is refused — checkpoints must land between dGPS slots.
+  template <class Archive>
+  void persist(Archive& ar) {
+    if constexpr (Archive::kIsSaver) {
+      if (powered_) {
+        throw snapshot::SnapshotError(snapshot::SnapshotErrc::kNotQuiescent,
+                                      "dgps reading in flight", "dgps");
+      }
+    }
+    ar.value(rng_);
+    ar.value(power_generation_);
+    ar.value(files_);
+    ar.value(readings_taken_);
+  }
 
  private:
   void store_reading(sim::SimTime started) {

@@ -22,6 +22,7 @@
 #include "fault/fault.h"
 #include "power/power_system.h"
 #include "sim/simulation.h"
+#include "snapshot/error.h"
 #include "util/rng.h"
 #include "util/units.h"
 
@@ -208,6 +209,29 @@ class GprsModem {
   }
 
   [[nodiscard]] const GprsConfig& config() const { return config_; }
+
+  // Snapshot support (docs/SNAPSHOT.md). A powered modem may have a
+  // hold_powered() auto-off in flight (an untracked guarded event), so a
+  // save while powered is refused; quiescent checkpoints land outside
+  // comms sessions.
+  template <class Archive>
+  void persist(Archive& ar) {
+    if constexpr (Archive::kIsSaver) {
+      if (powered_) {
+        throw snapshot::SnapshotError(snapshot::SnapshotErrc::kNotQuiescent,
+                                      "gprs session in flight", "gprs");
+      }
+    }
+    ar.value(rng_);
+    ar.value(hold_generation_);
+    ar.value(bytes_sent_);
+    ar.value(cost_);
+    ar.value(sessions_attempted_);
+    ar.value(sessions_succeeded_);
+    ar.value(registration_failures_);
+    ar.value(session_drops_);
+    ar.value(hangs_);
+  }
 
  private:
   sim::Simulation& simulation_;

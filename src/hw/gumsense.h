@@ -52,6 +52,18 @@ class Gumsense {
 
   [[nodiscard]] bool wake_armed() const { return pending_wake_.has_value(); }
 
+  // Snapshot support (docs/SNAPSHOT.md). on_wake_/on_cold_boot_ survive the
+  // restored world's own construction; the armed wake timer is rebuilt
+  // under its exact saved key — never recomputed through next_wake(), whose
+  // drift rounding could land a millisecond off the original.
+  template <class Archive>
+  void persist(Archive& ar) {
+    ar.value(msp_);
+    ar.value(gumstix_);
+    sim::persist_pending(ar, simulation_, pending_wake_,
+                         [this] { fire_wake(); });
+  }
+
  private:
   void arm() {
     disarm();
@@ -59,15 +71,17 @@ class Gumsense {
     // drifting RTC is still a few hundred ms short of the scheduled time.
     const auto wake = msp_.next_wake(sim::minutes(5));
     if (!wake.has_value() || !on_wake_) return;
-    pending_wake_ = simulation_.schedule_at(*wake, [this] {
-      pending_wake_.reset();
-      if (power_.browned_out()) return;
-      const sim::SimTime booted = gumstix_.power_on();
-      simulation_.schedule_at(booted, [this] {
-        if (gumstix_.running() && on_wake_) on_wake_();
-      });
-      arm();  // tomorrow's wake, from the (possibly drifted) RTC
+    pending_wake_ = simulation_.schedule_at(*wake, [this] { fire_wake(); });
+  }
+
+  void fire_wake() {
+    pending_wake_.reset();
+    if (power_.browned_out()) return;
+    const sim::SimTime booted = gumstix_.power_on();
+    simulation_.schedule_at(booted, [this] {
+      if (gumstix_.running() && on_wake_) on_wake_();
     });
+    arm();  // tomorrow's wake, from the (possibly drifted) RTC
   }
 
   void disarm() {

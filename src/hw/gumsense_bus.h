@@ -96,6 +96,13 @@ class GumsenseBus {
   [[nodiscard]] int transactions() const { return transactions_; }
   [[nodiscard]] int naks() const { return naks_; }
 
+  template <class Archive>
+  void persist(Archive& ar) {
+    ar.value(rng_);
+    ar.value(transactions_);
+    ar.value(naks_);
+  }
+
  private:
   // One framed transaction with retry-on-NAK.
   bool transact(BusCommand command) {

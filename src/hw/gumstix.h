@@ -43,9 +43,7 @@ class Gumstix {
       powered_since_ = simulation_.now();
       ++boot_count_;
       boot_done_ = simulation_.now() + config_.boot_time;
-      simulation_.schedule_at(boot_done_, [this] {
-        if (state_ == State::kBooting) state_ = State::kRunning;
-      });
+      boot_event_ = simulation_.schedule_at(boot_done_, [this] { finish_boot(); });
     }
     return boot_done_;
   }
@@ -68,7 +66,25 @@ class Gumstix {
   [[nodiscard]] int boot_count() const { return boot_count_; }
   [[nodiscard]] const GumstixConfig& config() const { return config_; }
 
+  // Snapshot support (docs/SNAPSHOT.md). The load on/off flag itself is
+  // restored by PowerSystem's persist; a boot in flight is rebuilt as a
+  // pending event under its saved key.
+  template <class Archive>
+  void persist(Archive& ar) {
+    ar.value(state_);
+    ar.value(powered_since_);
+    ar.value(boot_done_);
+    ar.value(uptime_);
+    ar.value(boot_count_);
+    sim::persist_pending(ar, simulation_, boot_event_,
+                         [this] { finish_boot(); });
+  }
+
  private:
+  void finish_boot() {
+    if (state_ == State::kBooting) state_ = State::kRunning;
+  }
+
   sim::Simulation& simulation_;
   power::PowerSystem& power_;
   GumstixConfig config_;
@@ -77,6 +93,7 @@ class Gumstix {
   sim::SimTime powered_since_{};
   sim::SimTime boot_done_{};
   sim::Duration uptime_{};
+  sim::EventId boot_event_ = 0;
   int boot_count_ = 0;
 };
 

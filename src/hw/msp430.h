@@ -38,6 +38,12 @@ struct Msp430Config {
 struct VoltageSample {
   sim::SimTime rtc_time;  // as stamped by the (possibly wrong) RTC
   util::Volts voltage;
+
+  template <class Archive>
+  void persist(Archive& ar) {
+    ar.value(rtc_time);
+    ar.value(voltage);
+  }
 };
 
 class Msp430 {
@@ -135,16 +141,36 @@ class Msp430 {
 
   [[nodiscard]] int brown_out_count() const { return brown_out_count_; }
 
+  // Snapshot support (docs/SNAPSHOT.md). The drift factor is per-board
+  // stochastic state drawn at construction, so it must be carried over —
+  // recomputing the sample chain's next firing from a restored anchor would
+  // round differently, which is why the pending sample event is a rebuild
+  // record with its exact saved key.
+  template <class Archive>
+  void persist(Archive& ar) {
+    ar.value(samples_);
+    ar.value(drift_factor_);
+    ar.value(rtc_anchor_sim_);
+    ar.value(rtc_anchor_value_);
+    ar.value(wake_time_of_day_);
+    ar.value(brown_out_count_);
+    sim::persist_pending(ar, simulation_, sample_event_,
+                         [this] { fire_sample(); });
+  }
+
  private:
   void schedule_sample() {
-    simulation_.schedule_in(config_.sample_interval, [this] {
-      // Sampling itself is powered by the sleep allowance; the paper calls
-      // its cost negligible. Skipped while the rail is dead.
-      if (!power_.browned_out()) {
-        samples_.push(VoltageSample{rtc_now(), power_.terminal_voltage()});
-      }
-      schedule_sample();
-    });
+    sample_event_ =
+        simulation_.schedule_in(config_.sample_interval, [this] { fire_sample(); });
+  }
+
+  void fire_sample() {
+    // Sampling itself is powered by the sleep allowance; the paper calls
+    // its cost negligible. Skipped while the rail is dead.
+    if (!power_.browned_out()) {
+      samples_.push(VoltageSample{rtc_now(), power_.terminal_voltage()});
+    }
+    schedule_sample();
   }
 
   sim::Simulation& simulation_;
@@ -156,6 +182,7 @@ class Msp430 {
   sim::SimTime rtc_anchor_sim_{};
   sim::SimTime rtc_anchor_value_{};
   std::optional<sim::Duration> wake_time_of_day_;
+  sim::EventId sample_event_ = 0;
   int brown_out_count_ = 0;
 };
 

@@ -74,6 +74,14 @@ class SensorSuite {
   [[nodiscard]] double pitch_deg() const { return pitch_deg_; }
   [[nodiscard]] double roll_deg() const { return roll_deg_; }
 
+  template <class Archive>
+  void persist(Archive& ar) {
+    ar.value(rng_);
+    ar.value(tilt_day_);
+    ar.value(pitch_deg_);
+    ar.value(roll_deg_);
+  }
+
  private:
   [[nodiscard]] double humidity(sim::SimTime t) {
     // Wetter when melt is active; bounded to a plausible RH band.

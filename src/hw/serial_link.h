@@ -60,6 +60,13 @@ class SerialLink {
   [[nodiscard]] int faults() const { return faults_; }
   [[nodiscard]] const SerialLinkConfig& config() const { return config_; }
 
+  template <class Archive>
+  void persist(Archive& ar) {
+    ar.value(rng_);
+    ar.value(transfers_);
+    ar.value(faults_);
+  }
+
  private:
   SerialLinkConfig config_;
   util::Rng rng_;

@@ -53,6 +53,15 @@ struct Event {
   std::string component;  // same naming domain as metrics ("watchdog", ...)
   double a = 0.0;         // per-type meaning, see EventType
   double b = 0.0;
+
+  template <class Archive>
+  void persist(Archive& ar) {
+    ar.value(time_ms);
+    ar.value(type);
+    ar.value(component);
+    ar.value(a);
+    ar.value(b);
+  }
 };
 
 class EventJournal {
@@ -93,6 +102,15 @@ class EventJournal {
       if (event.type == type) matching.push_back(event);
     }
     return matching;
+  }
+
+  // capacity_ stays whatever this journal was constructed with: it is a
+  // wiring decision, not world state.
+  template <class Archive>
+  void persist(Archive& ar) {
+    ar.value(events_);
+    ar.value(total_recorded_);
+    ar.value(dropped_);
   }
 
  private:

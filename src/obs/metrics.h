@@ -29,6 +29,11 @@ class Counter {
   void increment(std::uint64_t n = 1) { value_ += n; }
   [[nodiscard]] std::uint64_t value() const { return value_; }
 
+  template <class Archive>
+  void persist(Archive& ar) {
+    ar.value(value_);
+  }
+
  private:
   std::uint64_t value_ = 0;
 };
@@ -40,6 +45,11 @@ class Gauge {
   void set(double value) { value_ = value; }
   void add(double delta) { value_ += delta; }
   [[nodiscard]] double value() const { return value_; }
+
+  template <class Archive>
+  void persist(Archive& ar) {
+    ar.value(value_);
+  }
 
  private:
   double value_ = 0.0;
@@ -94,6 +104,16 @@ class Histogram {
             10.0,  30.0,  100.0, 300.0, 1000.0, 3000.0, 10000.0, 65536.0};
   }
 
+  template <class Archive>
+  void persist(Archive& ar) {
+    ar.value(upper_bounds_);
+    ar.value(counts_);
+    ar.value(count_);
+    ar.value(sum_);
+    ar.value(min_);
+    ar.value(max_);
+  }
+
  private:
   std::vector<double> upper_bounds_;
   std::vector<std::uint64_t> counts_;
@@ -112,6 +132,12 @@ struct MetricKey {
   // The exported "component.metric" form of the contract.
   [[nodiscard]] std::string full_name() const {
     return component + "." + name;
+  }
+
+  template <class Archive>
+  void persist(Archive& ar) {
+    ar.value(component);
+    ar.value(name);
   }
 };
 
@@ -183,6 +209,35 @@ class MetricsRegistry {
 
   [[nodiscard]] std::size_t size() const {
     return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  // Snapshot support (docs/SNAPSHOT.md). Histogram has no default
+  // constructor (bounds are fixed at creation), so the histogram map is
+  // rebuilt by emplacing empty-bounds shells and persisting into them —
+  // the bounds themselves are part of the persisted payload.
+  template <class Archive>
+  void persist(Archive& ar) {
+    ar.value(counters_);
+    ar.value(gauges_);
+    if constexpr (Archive::kIsSaver) {
+      ar.value(histograms_.size());
+      for (const auto& [key, histogram] : histograms_) {
+        ar.value(key);
+        ar.value(histogram);
+      }
+    } else {
+      std::uint64_t n = 0;
+      ar.value(n);
+      histograms_.clear();
+      for (std::uint64_t i = 0; i < n; ++i) {
+        MetricKey key;
+        ar.value(key);
+        auto it =
+            histograms_.emplace(std::move(key), Histogram{std::vector<double>{}})
+                .first;
+        ar.value(it->second);
+      }
+    }
   }
 
  private:

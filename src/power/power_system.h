@@ -23,6 +23,7 @@
 #include "power/battery.h"
 #include "power/chargers.h"
 #include "sim/simulation.h"
+#include "snapshot/error.h"
 #include "util/units.h"
 
 namespace gw::power {
@@ -166,6 +167,43 @@ class PowerSystem {
 
   [[nodiscard]] int brown_out_count() const { return brown_out_count_; }
 
+  // Snapshot support (docs/SNAPSHOT.md). Chargers, handlers, hooks and the
+  // oracle pointer are wiring the restored world rebuilds; load *names* are
+  // saved as a cross-check that the wiring actually matches.
+  template <class Archive>
+  void persist(Archive& ar) {
+    double soc = battery_.soc();
+    ar.value(soc);
+    if constexpr (!Archive::kIsSaver) battery_.set_soc(soc);
+    std::uint64_t load_count = loads_.size();
+    ar.value(load_count);
+    if (load_count != loads_.size()) {
+      throw snapshot::SnapshotError(
+          snapshot::SnapshotErrc::kStateMismatch,
+          "snapshot has " + std::to_string(load_count) +
+              " load(s), this world wired " + std::to_string(loads_.size()));
+    }
+    for (auto& load : loads_) {
+      std::string name = load.name;
+      ar.value(name);
+      if (name != load.name) {
+        throw snapshot::SnapshotError(snapshot::SnapshotErrc::kStateMismatch,
+                                      "load '" + name +
+                                          "' in snapshot, '" + load.name +
+                                          "' in this world");
+      }
+      ar.value(load.draw);
+      ar.value(load.on);
+    }
+    ar.value(consumed_);
+    ar.value(harvested_);
+    ar.value(last_charge_current_);
+    ar.value(browned_out_);
+    ar.value(brown_out_count_);
+    sim::persist_pending(ar, simulation_, tick_event_,
+                         [this] { fire_tick(); });
+  }
+
   // Single integration step, public so unit tests can drive it directly
   // without a Simulation.
   void tick(sim::Duration dt) {
@@ -230,10 +268,12 @@ class PowerSystem {
   };
 
   void schedule_tick() {
-    simulation_.schedule_in(config_.tick, [this] {
-      tick(config_.tick);
-      schedule_tick();
-    });
+    tick_event_ = simulation_.schedule_in(config_.tick, [this] { fire_tick(); });
+  }
+
+  void fire_tick() {
+    tick(config_.tick);
+    schedule_tick();
   }
 
   sim::Simulation& simulation_;
@@ -247,6 +287,7 @@ class PowerSystem {
   util::Amps last_charge_current_{0.0};
   obs::Hooks hooks_;
   fault::FaultOracle* oracle_ = nullptr;
+  sim::EventId tick_event_ = 0;
   bool browned_out_ = false;
   int brown_out_count_ = 0;
   std::vector<std::function<void()>> brown_out_handlers_;

@@ -57,6 +57,13 @@ class ProbeLink {
 
   [[nodiscard]] const ProbeLinkConfig& config() const { return config_; }
 
+  template <class Archive>
+  void persist(Archive& ar) {
+    ar.value(rng_);
+    ar.value(packets_attempted_);
+    ar.value(packets_lost_);
+  }
+
  private:
   env::MeltModel& melt_;
   env::TemperatureModel& temperature_;

@@ -53,6 +53,12 @@ class ProbeStore {
     return delivered_total_;
   }
 
+  template <class Archive>
+  void persist(Archive& ar) {
+    ar.value(pending_);
+    ar.value(delivered_total_);
+  }
+
  private:
   std::deque<ProbeReading> pending_;
   std::size_t delivered_total_ = 0;

@@ -21,6 +21,17 @@ struct ProbeReading {
   double pressure_kpa = 0.0;
   double tilt_deg = 0.0;
   double temperature_c = 0.0;
+
+  template <class Archive>
+  void persist(Archive& ar) {
+    ar.value(probe_id);
+    ar.value(seq);
+    ar.value(sampled_ms);
+    ar.value(conductivity_us);
+    ar.value(pressure_kpa);
+    ar.value(tilt_deg);
+    ar.value(temperature_c);
+  }
 };
 
 // Payload bytes of one serialised reading.

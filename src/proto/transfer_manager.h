@@ -27,6 +27,14 @@ struct UploadFile {
   util::Bytes size{0};
   util::Bytes sent{0};  // partial progress (kept only with chunk_resume)
   int priority = 0;     // higher uploads first (extension; see config)
+
+  template <class Archive>
+  void persist(Archive& ar) {
+    ar.value(name);
+    ar.value(size);
+    ar.value(sent);
+    ar.value(priority);
+  }
 };
 
 struct UploadReport {
@@ -209,6 +217,13 @@ class TransferManager {
   }
 
   [[nodiscard]] const std::deque<UploadFile>& queue() const { return queue_; }
+
+  // Snapshot support (docs/SNAPSHOT.md). Only the queue is state; the
+  // completion callback and hooks are wiring re-established by the owner.
+  template <class Archive>
+  void persist(Archive& ar) {
+    ar.value(queue_);
+  }
 
  private:
   void complete_file(std::deque<UploadFile>::iterator it,

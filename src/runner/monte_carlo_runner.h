@@ -80,6 +80,26 @@ class MonteCarloRunner {
     return results;
   }
 
+  // Warm-prefix branching (docs/SNAPSHOT.md): evaluates `warm()` exactly
+  // once on the calling thread, then runs trial(index, shared) across the
+  // pool. The intended shape is warm() returning the serialised snapshot of
+  // a prefix every trial shares (e.g. Fleet::save_snapshot() after the
+  // burn-in), and each trial constructing its own world from the same
+  // config and calling restore_snapshot(shared) before diverging — the
+  // per-trial cost drops from (prefix + branch) to (restore + branch).
+  // The shared value is read-only for the whole run: trials receive it by
+  // const reference and must not mutate through it (same aliasing contract
+  // as run()'s captured configs).
+  template <typename WarmFn, typename TrialFn>
+  auto run_forked(std::size_t trials, WarmFn&& warm, TrialFn&& trial)
+      -> std::vector<std::invoke_result_t<
+          TrialFn&, std::size_t, const std::invoke_result_t<WarmFn&>&>> {
+    const auto shared = warm();
+    return run(trials, [&trial, &shared](std::size_t index) {
+      return trial(index, shared);
+    });
+  }
+
  private:
   // All per-job state lives in one heap block that workers snapshot (as a
   // shared_ptr) under the mutex before claiming anything. A worker that

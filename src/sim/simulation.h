@@ -32,12 +32,15 @@
 #include <cstdint>
 #include <cstring>
 #include <memory>
+#include <optional>
 #include <stdexcept>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "sim/inline_callback.h"
 #include "sim/time.h"
+#include "snapshot/error.h"
 
 namespace gw::sim {
 
@@ -161,6 +164,129 @@ class Simulation {
       if (++executed > max_events) {
         throw std::runtime_error("Simulation::run_all exceeded event budget");
       }
+    }
+  }
+
+  // --- snapshot support (docs/SNAPSHOT.md) --------------------------------
+  //
+  // The queue's InlineCallback closures are code, not data, so the kernel
+  // cannot serialise itself wholesale. Instead, each component that owns a
+  // pending event saves a *rebuild record* — the event's exact queued
+  // (timestamp, sequence) key, looked up with pending_key() — and on
+  // restore re-registers an equivalent callback under that same key with
+  // schedule_rebuilt(). Because execution order is the (time, seq) total
+  // order and every key is replayed verbatim (never recomputed), a
+  // restored run interleaves exactly like the original.
+
+  struct KernelCheckpoint {
+    std::int64_t now_ms = 0;
+    std::uint32_t next_seq = 1;
+    std::uint64_t events_executed = 0;
+    std::uint64_t live_events = 0;
+
+    template <class Archive>
+    void persist(Archive& ar) {
+      ar.value(now_ms);
+      ar.value(next_seq);
+      ar.value(events_executed);
+      ar.value(live_events);
+    }
+  };
+
+  [[nodiscard]] KernelCheckpoint checkpoint() const {
+    return KernelCheckpoint{now_.millis_since_epoch(), next_seq_,
+                            events_executed_, live_count_};
+  }
+
+  // The queued (timestamp, sequence) key of a still-pending event, or
+  // nullopt when `id` already fired or was cancelled. O(pending) linear
+  // scan — this runs at save time only, never on the hot path.
+  [[nodiscard]] std::optional<std::pair<std::int64_t, std::uint32_t>>
+  pending_key(EventId id) const {
+    const auto index = static_cast<std::uint32_t>(id >> 32);
+    const auto generation = static_cast<std::uint32_t>(id);
+    if (index >= slot_count_) return std::nullopt;
+    const Slot& slot = chunks_[index >> kChunkShift][index & (kChunkSize - 1)];
+    if (slot.state != SlotState::kPending || slot.generation != generation) {
+      return std::nullopt;
+    }
+    for (const HeapNode& node : staging_) {
+      if (node.slot == index) return std::make_pair(node.at_ms, node.seq);
+    }
+    for (std::size_t i = run_cursor_; i < run_.size(); ++i) {
+      if (run_[i].slot == index) {
+        return std::make_pair(run_[i].at_ms, run_[i].seq);
+      }
+    }
+    for (const HeapNode& node : heap_) {
+      if (node.slot == index) return std::make_pair(node.at_ms, node.seq);
+    }
+    return std::nullopt;
+  }
+
+  // Restore protocol: begin_restore() wipes the queue and pins the clock,
+  // each component re-registers its events with schedule_rebuilt(), and
+  // finish_restore() reinstates the sequence counter after proving every
+  // saved event came back. Stale EventId members left over from the fresh
+  // construction are simply overwritten — never cancel() them.
+  void begin_restore(const KernelCheckpoint& ckpt) {
+    staging_.clear();
+    run_.clear();
+    scratch_.clear();
+    heap_.clear();
+    run_cursor_ = 0;
+    chunks_.clear();
+    slot_count_ = 0;
+    free_head_ = kNoSlot;
+    live_count_ = 0;
+    now_ = SimTime{ckpt.now_ms};
+    events_executed_ = ckpt.events_executed;
+    restore_ = ckpt;
+    restoring_ = true;
+  }
+
+  // Re-registers one saved event under its exact saved key. Pushes straight
+  // into the heap: components rebuild in section order, not sequence order,
+  // and the staging radix sort is only stable for monotonically appended
+  // sequences.
+  template <typename F>
+  EventId schedule_rebuilt(std::int64_t at_ms, std::uint32_t seq, F&& fn) {
+    if (!restoring_) {
+      throw snapshot::SnapshotError(snapshot::SnapshotErrc::kStateMismatch,
+                                    "schedule_rebuilt outside restore",
+                                    "kernel");
+    }
+    if (at_ms < now_.millis_since_epoch() || seq >= restore_.next_seq) {
+      throw snapshot::SnapshotError(
+          snapshot::SnapshotErrc::kStateMismatch,
+          "rebuild record key (" + std::to_string(at_ms) + ", " +
+              std::to_string(seq) + ") outside the checkpoint's horizon",
+          "kernel");
+    }
+    const std::uint32_t index = acquire_slot();
+    Slot& slot = slot_at(index);
+    slot.fn.emplace(std::forward<F>(fn));
+    slot.state = SlotState::kPending;
+    heap_push(HeapNode{at_ms, seq, index});
+    ++live_count_;
+    return (std::uint64_t{index} << 32) | slot.generation;
+  }
+
+  void finish_restore() {
+    if (!restoring_) {
+      throw snapshot::SnapshotError(snapshot::SnapshotErrc::kStateMismatch,
+                                    "finish_restore outside restore",
+                                    "kernel");
+    }
+    restoring_ = false;
+    next_seq_ = restore_.next_seq;
+    if (live_count_ != restore_.live_events) {
+      throw snapshot::SnapshotError(
+          snapshot::SnapshotErrc::kStateMismatch,
+          "rebuilt " + std::to_string(live_count_) +
+              " event(s), checkpoint recorded " +
+              std::to_string(restore_.live_events),
+          "kernel");
     }
   }
 
@@ -375,6 +501,69 @@ class Simulation {
   std::vector<std::unique_ptr<Slot[]>> chunks_;
   std::uint32_t slot_count_ = 0;
   std::uint32_t free_head_ = kNoSlot;
+  KernelCheckpoint restore_{};  // horizon while restoring_
+  bool restoring_ = false;
 };
+
+// Saves or restores one component-owned pending event through a snapshot
+// archive (the standard way to write a rebuild record — see
+// docs/SNAPSHOT.md). On save: records whether `id` is still pending and,
+// if so, its exact queued key, and counts it in ar.rebuild_records so the
+// fleet save can prove every live event is accounted for. On restore:
+// re-registers `rebuild` under the saved key (or writes the null id).
+// `rebuild` is any void() callable; it is only consumed on the load path.
+template <class Archive, typename F>
+void persist_pending(Archive& ar, Simulation& sim, EventId& id, F&& rebuild) {
+  if constexpr (Archive::kIsSaver) {
+    const auto key = sim.pending_key(id);
+    const bool live = key.has_value();
+    ar.value(live);
+    if (live) {
+      ar.value(key->first);
+      ar.value(key->second);
+      ++ar.rebuild_records;
+    }
+  } else {
+    bool live = false;
+    ar.value(live);
+    if (live) {
+      std::int64_t at_ms = 0;
+      std::uint32_t seq = 0;
+      ar.value(at_ms);
+      ar.value(seq);
+      id = sim.schedule_rebuilt(at_ms, seq, std::forward<F>(rebuild));
+    } else {
+      id = EventId{0};  // generations start at 1, so 0 never matches
+    }
+  }
+}
+
+template <class Archive, typename F>
+void persist_pending(Archive& ar, Simulation& sim, std::optional<EventId>& id,
+                     F&& rebuild) {
+  if constexpr (Archive::kIsSaver) {
+    std::optional<std::pair<std::int64_t, std::uint32_t>> key;
+    if (id.has_value()) key = sim.pending_key(*id);
+    const bool live = key.has_value();
+    ar.value(live);
+    if (live) {
+      ar.value(key->first);
+      ar.value(key->second);
+      ++ar.rebuild_records;
+    }
+  } else {
+    bool live = false;
+    ar.value(live);
+    if (live) {
+      std::int64_t at_ms = 0;
+      std::uint32_t seq = 0;
+      ar.value(at_ms);
+      ar.value(seq);
+      id = sim.schedule_rebuilt(at_ms, seq, std::forward<F>(rebuild));
+    } else {
+      id.reset();
+    }
+  }
+}
 
 }  // namespace gw::sim

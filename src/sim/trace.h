@@ -18,6 +18,12 @@ namespace gw::sim {
 struct TracePoint {
   SimTime time;
   double value = 0.0;
+
+  template <class Archive>
+  void persist(Archive& ar) {
+    ar.value(time);
+    ar.value(value);
+  }
 };
 
 class Trace {
@@ -57,9 +63,21 @@ class Trace {
   struct Annotation {
     SimTime time;
     std::string text;
+
+    template <class Archive>
+    void persist(Archive& ar) {
+      ar.value(time);
+      ar.value(text);
+    }
   };
   [[nodiscard]] const std::vector<Annotation>& annotations() const {
     return annotations_;
+  }
+
+  template <class Archive>
+  void persist(Archive& ar) {
+    ar.value(series_);
+    ar.value(annotations_);
   }
 
   // --- small analysis helpers used by tests and benches -----------------

@@ -1,0 +1,67 @@
+// Typed snapshot failures.
+//
+// A snapshot that cannot be trusted must be refused loudly, never half
+// restored: every structural problem — wrong magic, wrong format version,
+// truncation, a CRC mismatch in any section, a section that reads past its
+// own payload — maps to one SnapshotErrc value carried by SnapshotError,
+// with the offending section named where one is known. Callers (tests, the
+// gwsnap CLI, the Monte Carlo fork path) switch on code(), not on message
+// text. See docs/SNAPSHOT.md for the format these errors guard.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace gw::snapshot {
+
+enum class SnapshotErrc {
+  kBadMagic,            // file does not start with "GWSNAP"
+  kBadVersion,          // format version this build does not speak
+  kTruncated,           // byte stream ends inside a header or payload
+  kSectionCrcMismatch,  // a section's payload fails its CRC-32
+  kFileCrcMismatch,     // the whole-file trailer CRC fails
+  kDuplicateSection,    // two sections share a name
+  kMissingSection,      // a reader asked for a section that is not there
+  kSectionUnderrun,     // a persist() read past its section's payload
+  kTrailingBytes,       // a persist() left unread bytes in its section
+  kNotQuiescent,        // save attempted with unaccounted in-flight events
+  kStateMismatch,       // restore-time cross-check failed (config drift)
+};
+
+[[nodiscard]] constexpr const char* to_string(SnapshotErrc code) {
+  switch (code) {
+    case SnapshotErrc::kBadMagic: return "bad_magic";
+    case SnapshotErrc::kBadVersion: return "bad_version";
+    case SnapshotErrc::kTruncated: return "truncated";
+    case SnapshotErrc::kSectionCrcMismatch: return "section_crc_mismatch";
+    case SnapshotErrc::kFileCrcMismatch: return "file_crc_mismatch";
+    case SnapshotErrc::kDuplicateSection: return "duplicate_section";
+    case SnapshotErrc::kMissingSection: return "missing_section";
+    case SnapshotErrc::kSectionUnderrun: return "section_underrun";
+    case SnapshotErrc::kTrailingBytes: return "trailing_bytes";
+    case SnapshotErrc::kNotQuiescent: return "not_quiescent";
+    case SnapshotErrc::kStateMismatch: return "state_mismatch";
+  }
+  return "unknown";
+}
+
+class SnapshotError : public std::runtime_error {
+ public:
+  SnapshotError(SnapshotErrc code, std::string detail,
+                std::string section = {})
+      : std::runtime_error(std::string("snapshot: ") + to_string(code) +
+                           (section.empty() ? "" : " [" + section + "]") +
+                           ": " + detail),
+        code_(code),
+        section_(std::move(section)) {}
+
+  [[nodiscard]] SnapshotErrc code() const { return code_; }
+  // The section the failure was localised to; empty for file-level errors.
+  [[nodiscard]] const std::string& section() const { return section_; }
+
+ private:
+  SnapshotErrc code_;
+  std::string section_;
+};
+
+}  // namespace gw::snapshot

@@ -178,7 +178,8 @@ void Fleet::sample_trace() {
           now, conductivity.value());
     }
   }
-  simulation_.schedule_in(config_.trace_interval, [this] { sample_trace(); });
+  trace_event_ =
+      simulation_.schedule_in(config_.trace_interval, [this] { sample_trace(); });
 }
 
 FleetConfig uniform_fleet_config(int stations, std::uint64_t seed) {

@@ -16,8 +16,10 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -156,8 +158,31 @@ class Fleet {
 
   [[nodiscard]] const FleetConfig& config() const { return config_; }
 
+  // --- checkpoint / fork (docs/SNAPSHOT.md) -------------------------------
+
+  // Serialises the whole world — kernel clock/queue, environment, fault
+  // oracle, server, every station and probe — into a versioned GWSNAP
+  // container (fleet_snapshot.cpp). The fleet must be quiescent: a save
+  // taken mid-daily-run, mid-comms-session, or with any pending event no
+  // component claims throws SnapshotError(kNotQuiescent).
+  [[nodiscard]] std::vector<std::uint8_t> save_snapshot();
+
+  // Restores a snapshot into a fleet freshly constructed from the *same*
+  // FleetConfig. The meta section is cross-checked against this fleet's
+  // shape (seed, start, station names, probe counts); any disagreement
+  // throws SnapshotError(kStateMismatch) before state is touched.
+  void restore_snapshot(std::span<const std::uint8_t> bytes);
+
  private:
   void sample_trace();
+
+  // Shared field lists for the multi-object snapshot sections, one template
+  // each so the save and restore byte streams can never drift
+  // (fleet_snapshot.cpp).
+  template <class Archive>
+  void persist_fault_section(Archive& ar);
+  template <class Archive>
+  void persist_fleet_section(Archive& ar);
 
   FleetConfig config_;
   sim::Simulation simulation_;
@@ -176,6 +201,8 @@ class Fleet {
   // Convergence as of the last update_rollup(), per group name (absent =
   // never observed), for flip detection.
   std::map<std::string, bool> last_converged_;
+  // The 30-minute trace sampler's pending event (rebuilt on restore).
+  sim::EventId trace_event_ = 0;
 };
 
 // The canonical scaling preset used by bench_fleet_scale and the fleet

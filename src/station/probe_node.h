@@ -69,16 +69,44 @@ class ProbeNode {
 
   [[nodiscard]] const ProbeNodeConfig& config() const { return config_; }
 
+  [[nodiscard]] sim::Duration death_after() const { return death_after_; }
+
+  // Replaces the wear-out draw — the fork bench redraws lifetimes for
+  // probes still alive at the branch point (conditional resampling).
+  void set_death_after(sim::Duration death_after) {
+    death_after_ = death_after;
+  }
+
+  // Snapshot support (docs/SNAPSHOT.md). The sample chain is a rebuild
+  // record: a dead probe has no pending event and stays silent on restore.
+  template <class Archive>
+  void persist(Archive& ar) {
+    ar.value(rng_);
+    ar.value(link_);
+    ar.value(store_);
+    ar.value(deployed_at_);
+    ar.value(death_after_);
+    ar.value(next_seq_);
+    ar.value(tilt_);
+    sim::persist_pending(ar, simulation_, sample_event_,
+                         [this] { fire_sample(); });
+  }
+
  private:
   void schedule_sample() {
-    simulation_.schedule_in(config_.sample_interval, [this] {
-      if (alive()) {
-        sample_now();
-        schedule_sample();
-      }
-      // A dead probe never reschedules: it vanishes from the air, exactly
-      // how the paper's losses present ("fewer vanishing offline").
-    });
+    sample_event_ =
+        simulation_.schedule_in(config_.sample_interval, [this] {
+          fire_sample();
+        });
+  }
+
+  void fire_sample() {
+    if (alive()) {
+      sample_now();
+      schedule_sample();
+    }
+    // A dead probe never reschedules: it vanishes from the air, exactly
+    // how the paper's losses present ("fewer vanishing offline").
   }
 
   void sample_now() {
@@ -112,6 +140,7 @@ class ProbeNode {
   sim::Duration death_after_{};
   std::uint32_t next_seq_ = 0;
   double tilt_ = 0.0;
+  sim::EventId sample_event_ = 0;
 };
 
 }  // namespace gw::station

@@ -49,6 +49,14 @@ struct ReceivedFile {
   std::string name;
   util::Bytes size{0};
   sim::SimTime received_at{};
+
+  template <class Archive>
+  void persist(Archive& ar) {
+    ar.value(station);
+    ar.value(name);
+    ar.value(size);
+    ar.value(received_at);
+  }
 };
 
 // What compact_received() folds a station's raw receipts into: the exact
@@ -60,6 +68,14 @@ struct ReceiptSummary {
   util::Bytes bytes{0};
   sim::SimTime first_at{};
   sim::SimTime last_at{};
+
+  template <class Archive>
+  void persist(Archive& ar) {
+    ar.value(files);
+    ar.value(bytes);
+    ar.value(first_at);
+    ar.value(last_at);
+  }
 };
 
 class SouthamptonServer {
@@ -240,6 +256,13 @@ class SouthamptonServer {
     std::string station;
     core::UpdateBeacon beacon;
     sim::SimTime at{};
+
+    template <class Archive>
+    void persist(Archive& ar) {
+      ar.value(station);
+      ar.value(beacon);
+      ar.value(at);
+    }
   };
   [[nodiscard]] const std::vector<TimedBeacon>& beacons() const {
     return beacons_;
@@ -326,6 +349,29 @@ class SouthamptonServer {
     return count;
   }
 
+  // Snapshot support (docs/SNAPSHOT.md). Everything including the stripe
+  // layout (the saved stripe count re-partitions the queues identically);
+  // the fault oracle and hooks are wiring.
+  template <class Archive>
+  void persist(Archive& ar) {
+    ar.value(sync_);
+    ar.value(received_);
+    ar.value(received_window_);
+    ar.value(receipt_summaries_);
+    ar.value(compactions_);
+    ar.value(files_received_);
+    ar.value(bytes_by_station_);
+    ar.value(files_by_station_);
+    ar.value(beacons_by_station_);
+    ar.value(stripes_);
+    ar.value(station_queue_limit_);
+    ar.value(ingest_rejected_);
+    ar.value(queries_served_);
+    ar.value(queries_refused_);
+    ar.value(special_results_);
+    ar.value(beacons_);
+  }
+
  private:
   // Journal `a` codes for kIngestRejected (docs/OBSERVABILITY.md).
   static constexpr int kSpecialQueue = 0;
@@ -338,6 +384,13 @@ class SouthamptonServer {
     std::map<std::string, std::deque<core::SpecialCommand>> specials;
     std::map<std::string, std::deque<core::UpdatePackage>> updates;
     std::map<std::string, std::deque<core::ConfigUpdate>> config_updates;
+
+    template <class Archive>
+    void persist(Archive& ar) {
+      ar.value(specials);
+      ar.value(updates);
+      ar.value(config_updates);
+    }
   };
 
   // The stripe key is the station's sync group when it has one — a dGPS

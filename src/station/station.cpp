@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <functional>
 
+#include "snapshot/archive.h"
 #include "util/strings.h"
 
 namespace gw::station {
@@ -695,13 +696,16 @@ void Station::schedule_gps_program() {
     return;
   }
   for (const auto& slot : parsed.value().gps_slots) {
-    gps_program_.push_back(simulation_.schedule_in(slot, [this] {
-      if (power_.browned_out()) return;
-      // §II: the microcontroller powers the receiver; it auto-starts a
-      // reading and is cut again on completion — Gumstix never involved.
-      dgps_.power_on([this] { dgps_.power_off(); });
-    }));
+    gps_program_.push_back(
+        simulation_.schedule_in(slot, [this] { fire_gps_slot(); }));
   }
+}
+
+void Station::fire_gps_slot() {
+  if (power_.browned_out()) return;
+  // §II: the microcontroller powers the receiver; it auto-starts a
+  // reading and is cut again on completion — Gumstix never involved.
+  dgps_.power_on([this] { dgps_.power_off(); });
 }
 
 void Station::cancel_gps_program() {
@@ -766,11 +770,91 @@ void Station::on_cold_boot() {
       break;
     case core::RecoveryOutcome::kDeferred:
       // "sleep for a day and try again."
-      simulation_.schedule_in(recovery_.config().retry_interval, [this] {
-        if (!power_.browned_out()) on_cold_boot();
-      });
+      recovery_retry_ = simulation_.schedule_in(
+          recovery_.config().retry_interval,
+          [this] { fire_recovery_retry(); });
       break;
   }
 }
+
+void Station::fire_recovery_retry() {
+  recovery_retry_.reset();
+  if (!power_.browned_out()) on_cold_boot();
+}
+
+// --- snapshot -------------------------------------------------------------
+
+// The full station state minus wiring (probes_, hooks, callbacks — all
+// re-established by constructing an identical fleet before restoring).
+// Pending events are captured as rebuild records; anything whose closure
+// cannot be rebuilt from data (an in-run ActionSequence, the armed
+// watchdog, a dGPS reading or GPRS session in flight) makes the save refuse
+// with kNotQuiescent instead of silently dropping work.
+template <class Archive>
+void Station::persist(Archive& ar) {
+  if constexpr (Archive::kIsSaver) {
+    if ((sequence_ && sequence_->running()) || run_timer_.has_value()) {
+      throw snapshot::SnapshotError(snapshot::SnapshotErrc::kNotQuiescent,
+                                    "daily run in progress", config_.name);
+    }
+  }
+  ar.value(rng_);
+  ar.value(metrics_);
+  ar.value(journal_);
+  ar.value(logger_);
+  ar.value(power_);
+  ar.value(board_);
+  ar.value(dgps_);
+  ar.value(gprs_);
+  ar.value(cf_);
+  ar.value(sensors_);
+  ar.value(serial_);
+  ar.value(bus_);
+  ar.value(uploads_);
+  ar.value(watchdog_);
+  ar.value(recovery_);
+  ar.value(updates_);
+  ar.value(log_manager_);
+  ar.value(priority_analyzer_);
+  ar.value(remote_config_);
+  ar.value(urgent_data_today_);
+  ar.value(forced_comms_counted_);
+  ar.value(degraded_);
+  ar.value(failed_upload_days_);
+  ar.value(degraded_since_day_);
+  ar.value(probe_cursor_);
+  ar.value(probe_offset_);
+  ar.value(run_started_);
+  ar.value(probe_budget_used_);
+  ar.value(run_readings_);
+  ar.value(pending_voltages_);
+  ar.value(sensor_file_);
+  ar.value(state_);
+  ar.value(local_voltage_state_);
+  ar.value(last_override_);
+  ar.value(state_history_);
+  ar.value(daily_averages_);
+  ar.value(last_run_steps_);
+  ar.value(brown_out_at_);
+  ar.value(stats_);
+  ar.value(day_counter_);
+  ar.value(started_);
+  // The MSP-driven dGPS slots: every entry shares one rebuild body, so the
+  // program persists as a count plus one (live, at, seq) record per slot.
+  std::uint64_t slots = gps_program_.size();
+  ar.value(slots);
+  if constexpr (!Archive::kIsSaver) {
+    gps_program_.assign(std::size_t(slots), sim::EventId{0});
+  }
+  for (std::size_t i = 0; i < std::size_t(slots); ++i) {
+    sim::persist_pending(ar, simulation_, gps_program_[i],
+                         [this] { fire_gps_slot(); });
+  }
+  sim::persist_pending(ar, simulation_, recovery_retry_,
+                       [this] { fire_recovery_retry(); });
+}
+
+template void Station::persist<snapshot::Saver>(snapshot::Saver&);
+template void Station::persist<snapshot::Loader>(snapshot::Loader&);
 
 }  // namespace gw::station

@@ -133,6 +133,23 @@ struct StationStats {
   int state_upload_failures = 0;
   int forced_comms_days = 0;  // §VII data-priority override engaged
   int degraded_days = 0;      // daily runs spent in log-only degraded mode
+
+  template <class Archive>
+  void persist(Archive& ar) {
+    ar.value(runs_completed);
+    ar.value(runs_aborted);
+    ar.value(windows_missed);
+    ar.value(state0_days);
+    ar.value(brown_outs);
+    ar.value(cold_boots);
+    ar.value(gps_files_fetched);
+    ar.value(probe_readings_delivered);
+    ar.value(specials_executed);
+    ar.value(override_fetch_failures);
+    ar.value(state_upload_failures);
+    ar.value(forced_comms_days);
+    ar.value(degraded_days);
+  }
 };
 
 class Station {
@@ -197,6 +214,12 @@ class Station {
   struct StateChange {
     sim::SimTime at;
     core::PowerState state;
+
+    template <class Archive>
+    void persist(Archive& ar) {
+      ar.value(at);
+      ar.value(state);
+    }
   };
   [[nodiscard]] const std::vector<StateChange>& state_history() const {
     return state_history_;
@@ -206,6 +229,12 @@ class Station {
   struct DailyAverage {
     sim::SimTime at;
     util::Volts average;
+
+    template <class Archive>
+    void persist(Archive& ar) {
+      ar.value(at);
+      ar.value(average);
+    }
   };
   [[nodiscard]] const std::vector<DailyAverage>& daily_averages() const {
     return daily_averages_;
@@ -215,6 +244,13 @@ class Station {
   [[nodiscard]] const std::vector<std::string>& last_run_steps() const {
     return last_run_steps_;
   }
+
+  // Snapshot support (docs/SNAPSHOT.md): the whole station state minus
+  // wiring, defined in station.cpp and instantiated for snapshot::Saver /
+  // snapshot::Loader. Saving requires quiescence — no daily run, watchdog
+  // disarmed — so every pending event is a rebuildable record.
+  template <class Archive>
+  void persist(Archive& ar);
 
  private:
   // --- daily run (Fig 4) -------------------------------------------------
@@ -243,6 +279,8 @@ class Station {
   // --- dGPS intra-day program (MSP430-driven, §II) -----------------------
   void schedule_gps_program();
   void cancel_gps_program();
+  void fire_gps_slot();
+  void fire_recovery_retry();
 
   // Fig 4's state-0 gate, plus the §VII data-priority exception.
   [[nodiscard]] bool comms_allowed();
@@ -308,6 +346,10 @@ class Station {
   std::optional<core::PowerState> last_override_;
   std::unique_ptr<core::ActionSequence> sequence_;
   std::vector<sim::EventId> gps_program_;
+  // Deferred §IV cold-boot retry ("sleep for a day and try again") — tracked
+  // so a checkpoint taken while a station waits out a flat battery restores
+  // the retry instead of stranding it.
+  std::optional<sim::EventId> recovery_retry_;
   std::vector<StateChange> state_history_;
   std::vector<DailyAverage> daily_averages_;
   std::vector<std::string> last_run_steps_;

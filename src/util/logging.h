@@ -28,6 +28,14 @@ struct LogRecord {
   // Approximate on-disk size of the rendered line, which is what the GPRS
   // link has to carry.
   [[nodiscard]] std::size_t rendered_bytes() const;
+
+  template <class Archive>
+  void persist(Archive& ar) {
+    ar.value(time_ms);
+    ar.value(level);
+    ar.value(component);
+    ar.value(message);
+  }
 };
 
 class Logger {
@@ -68,6 +76,15 @@ class Logger {
   // Daily upload: renders and removes everything, returning the text that
   // goes over the GPRS link with the data.
   [[nodiscard]] std::string drain();
+
+  template <class Archive>
+  void persist(Archive& ar) {
+    ar.value(threshold_);
+    ar.value(records_);
+    ar.value(pending_bytes_);
+    ar.value(total_bytes_ever_);
+    ar.value(dropped_);
+  }
 
  private:
   LogLevel threshold_ = LogLevel::kDebug;

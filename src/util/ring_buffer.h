@@ -57,6 +57,26 @@ class RingBuffer {
     size_ = 0;
   }
 
+  // Snapshot support (docs/SNAPSHOT.md): contents are saved oldest-first
+  // and replayed through push(), so the restored buffer is observationally
+  // identical even if the internal head/tail offsets differ.
+  template <class Archive>
+  void persist(Archive& ar) {
+    if constexpr (Archive::kIsSaver) {
+      ar.value(size_);
+      for (std::size_t i = 0; i < size_; ++i) ar.value(at(i));
+    } else {
+      std::size_t n = 0;
+      ar.value(n);
+      clear();
+      for (std::size_t i = 0; i < n; ++i) {
+        T item{};
+        ar.value(item);
+        push(std::move(item));
+      }
+    }
+  }
+
  private:
   std::vector<T> storage_;
   std::size_t capacity_;

@@ -7,6 +7,7 @@
 // subsystems can draw without perturbing each other's sequences.
 #pragma once
 
+#include <array>
 #include <cmath>
 #include <cstdint>
 #include <numbers>
@@ -33,6 +34,14 @@ constexpr std::uint64_t fnv1a(std::string_view s) {
   return h;
 }
 
+// The complete replayable state of one Rng stream: the four xoshiro256**
+// words plus the construction seed (which fork() keys off, so a restored
+// stream forks exactly like the original). Snapshots persist this verbatim.
+struct RngState {
+  std::array<std::uint64_t, 4> words{};
+  std::uint64_t seed = 0;
+};
+
 class Rng {
  public:
   explicit Rng(std::uint64_t seed) : seed_(seed) {
@@ -48,6 +57,22 @@ class Rng {
   }
 
   [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+  // --- snapshot support (docs/SNAPSHOT.md) ---------------------------------
+
+  // The stream's exact position; restore_state() resumes it mid-stream so
+  // the continuation draws the same sequence the original would have.
+  [[nodiscard]] RngState state() const {
+    RngState s;
+    for (int i = 0; i < 4; ++i) s.words[std::size_t(i)] = state_[i];
+    s.seed = seed_;
+    return s;
+  }
+
+  void restore_state(const RngState& s) {
+    for (int i = 0; i < 4; ++i) state_[i] = s.words[std::size_t(i)];
+    seed_ = s.seed;
+  }
 
   std::uint64_t next_u64() {
     const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;

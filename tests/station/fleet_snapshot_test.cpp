@@ -1,0 +1,144 @@
+// Whole-world checkpoint / fork tests (docs/SNAPSHOT.md).
+//
+// The contract under test: a fleet restored from a mid-season snapshot and
+// run to the end of the season is indistinguishable — state for state —
+// from the same world replayed cold from day 0. The comparison is the
+// strongest one available: snapshot both end states and require every
+// section CRC to match (the kernel section alone is exempt, because the
+// cold replay's events_executed counts rebuild-dropped no-op pops the fork
+// never sees). Mismatched-config and damaged-byte restores must refuse with
+// typed errors before touching any state.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "snapshot/error.h"
+#include "snapshot/state_writer.h"
+#include "station/fleet.h"
+
+namespace gw::station {
+namespace {
+
+FleetConfig small_faulted_config(std::uint64_t seed = 20080601) {
+  FleetConfig config;
+  config.seed = seed;
+  config.start = sim::DateTime{2008, 6, 1, 0, 0, 0};
+  // Trace on: its 30-minute sampler is a fleet-owned pending event the
+  // restore path must rebuild.
+  config.trace_enabled = true;
+  config.fault_spec =
+      "gprs_outage      start=3d duration=2d severity=1.0\n"
+      "harvest_blackout start=8d duration=3d severity=1.0\n";
+
+  StationSpec base;
+  base.station.name = "base";
+  base.station.role = StationRole::kBaseStation;
+  base.station.power.battery.capacity = util::AmpHours{6.0};
+  base.station.power.battery.initial_soc = 0.6;
+  base.sync_group = "g1";
+  base.chargers = {ChargerKind::kSolar, ChargerKind::kWind};
+  base.probe_count = 2;
+  config.stations.push_back(std::move(base));
+
+  StationSpec reference;
+  reference.station.name = "reference";
+  reference.station.role = StationRole::kReferenceStation;
+  reference.sync_group = "g1";
+  reference.chargers = {ChargerKind::kSolar, ChargerKind::kMains};
+  reference.probe_count = 0;
+  config.stations.push_back(std::move(reference));
+  return config;
+}
+
+// 17 minutes past a day boundary: off every wake window, sample slot, and
+// fault edge, so the world is quiescent and the save is accepted.
+sim::Duration checkpoint_offset() {
+  return sim::days(6) + sim::minutes(17);
+}
+
+sim::SimTime season_end(const Fleet& fleet) {
+  return sim::to_time(fleet.config().start) + sim::days(12) +
+         sim::minutes(17);
+}
+
+TEST(FleetSnapshotTest, ForkResumedSeasonMatchesColdReplay) {
+  Fleet cold{small_faulted_config()};
+  cold.simulation().run_until(cold.simulation().now() + checkpoint_offset());
+  const std::vector<std::uint8_t> snapshot = cold.save_snapshot();
+  cold.simulation().run_until(season_end(cold));
+
+  Fleet forked{small_faulted_config()};
+  forked.restore_snapshot(snapshot);
+  EXPECT_EQ(forked.simulation().now().millis_since_epoch(),
+            (sim::to_time(forked.config().start) + checkpoint_offset())
+                .millis_since_epoch());
+  forked.simulation().run_until(season_end(forked));
+
+  // Section-for-section byte agreement of the two end states.
+  const auto cold_end = cold.save_snapshot();
+  const auto fork_end = forked.save_snapshot();
+  const snapshot::StateReader cold_reader(cold_end);
+  const snapshot::StateReader fork_reader(fork_end);
+  ASSERT_EQ(cold_reader.sections().size(), fork_reader.sections().size());
+  for (std::size_t i = 0; i < cold_reader.sections().size(); ++i) {
+    const auto& a = cold_reader.sections()[i];
+    const auto& b = fork_reader.sections()[i];
+    ASSERT_EQ(a.name, b.name);
+    if (a.name == "kernel") continue;
+    EXPECT_EQ(a.crc, b.crc) << "section drifted after fork: " << a.name;
+  }
+
+  // And the human-readable outcomes agree too.
+  EXPECT_EQ(cold.station(0).stats().runs_completed,
+            forked.station(0).stats().runs_completed);
+  EXPECT_EQ(cold.server().files_from("base"),
+            forked.server().files_from("base"));
+  EXPECT_EQ(cold.probes_alive(), forked.probes_alive());
+}
+
+TEST(FleetSnapshotTest, SaveIsDeterministic) {
+  Fleet first{small_faulted_config()};
+  first.simulation().run_until(first.simulation().now() +
+                               checkpoint_offset());
+  Fleet second{small_faulted_config()};
+  second.simulation().run_until(second.simulation().now() +
+                                checkpoint_offset());
+  EXPECT_EQ(first.save_snapshot(), second.save_snapshot());
+}
+
+TEST(FleetSnapshotTest, RestoreRejectsMismatchedWorld) {
+  Fleet source{small_faulted_config(20080601)};
+  source.simulation().run_until(source.simulation().now() +
+                                checkpoint_offset());
+  const auto snapshot = source.save_snapshot();
+
+  Fleet other{small_faulted_config(999)};
+  try {
+    other.restore_snapshot(snapshot);
+    FAIL() << "restored a snapshot from a differently-seeded world";
+  } catch (const snapshot::SnapshotError& error) {
+    EXPECT_EQ(error.code(), snapshot::SnapshotErrc::kStateMismatch);
+    EXPECT_EQ(error.section(), "meta");
+  }
+}
+
+TEST(FleetSnapshotTest, CorruptOrTruncatedSnapshotRefused) {
+  Fleet source{small_faulted_config()};
+  source.simulation().run_until(source.simulation().now() +
+                                checkpoint_offset());
+  const auto snapshot = source.save_snapshot();
+
+  auto damaged = snapshot;
+  damaged[damaged.size() / 2] ^= 0x01;
+  Fleet target{small_faulted_config()};
+  EXPECT_THROW(target.restore_snapshot(damaged), snapshot::SnapshotError);
+
+  const std::vector<std::uint8_t> truncated(
+      snapshot.begin(), snapshot.begin() + std::ptrdiff_t(snapshot.size() / 3));
+  Fleet target2{small_faulted_config()};
+  EXPECT_THROW(target2.restore_snapshot(truncated), snapshot::SnapshotError);
+}
+
+}  // namespace
+}  // namespace gw::station

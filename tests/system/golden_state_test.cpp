@@ -1,0 +1,113 @@
+// Golden whole-world state fingerprint (docs/SNAPSHOT.md).
+//
+// A 20-day faulted two-station season is snapshotted and every section's
+// CRC-32 — plus the whole-world fingerprint — is pinned. Any change to any
+// subsystem's dynamics, rng draw order, or persist field list shows up here
+// as a named section, not a blind hash mismatch. That is deliberate
+// friction: a legitimate behaviour change must re-pin these constants in
+// the same commit, with the diff showing exactly which subsystems moved
+// (tools/gwsnap diff does the same for saved snapshot files). On mismatch
+// the test prints the freshly-computed table ready to paste.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "snapshot/state_writer.h"
+#include "station/fleet.h"
+
+namespace gw::station {
+namespace {
+
+FleetConfig golden_config() {
+  FleetConfig config;
+  config.seed = 20080601;
+  config.start = sim::DateTime{2008, 6, 1, 0, 0, 0};
+  config.trace_enabled = false;
+  config.fault_spec =
+      "# scripted season, first 20 days (docs/FAULTS.md)\n"
+      "gprs_outage      start=5d  duration=7d  severity=1.0\n"
+      "dgps_no_fix      start=14d duration=2d  severity=0.9\n"
+      "cf_write_fail    start=16d duration=1d  severity=0.3\n"
+      "server_down      start=18d duration=12h\n";
+
+  StationSpec base;
+  base.station.name = "base";
+  base.station.role = StationRole::kBaseStation;
+  base.station.power.battery.capacity = util::AmpHours{6.0};
+  base.station.power.battery.initial_soc = 0.6;
+  base.station.power.battery.self_discharge_per_day = 0.10;
+  base.station.uploads.session_timeout = sim::minutes(15);
+  base.station.uploads.retry_backoff_base = sim::minutes(1);
+  base.station.degrade_after_failed_days = 3;
+  base.sync_group = "g1";
+  base.chargers = {ChargerKind::kSolar, ChargerKind::kWind};
+  base.probe_count = 3;
+  config.stations.push_back(std::move(base));
+
+  StationSpec reference;
+  reference.station.name = "reference";
+  reference.station.role = StationRole::kReferenceStation;
+  reference.sync_group = "g1";
+  reference.chargers = {ChargerKind::kSolar, ChargerKind::kMains};
+  reference.probe_count = 0;
+  config.stations.push_back(std::move(reference));
+  return config;
+}
+
+struct GoldenSection {
+  const char* name;
+  std::uint32_t crc;
+};
+
+// Pinned from the first green run; re-pin (paste the printed table) when a
+// deliberate behaviour change moves a subsystem.
+constexpr GoldenSection kGolden[] = {
+    {"meta", 0xe54be544u},
+    {"kernel", 0xdb3ee77bu},
+    {"env", 0x0e07ed78u},
+    {"fault", 0x4ba2a70cu},
+    {"server", 0xdf43bb1bu},
+    {"fleet", 0x57681deeu},
+    {"station/base", 0x7fcbb1ecu},
+    {"probe/base/20", 0xe9c3468bu},
+    {"probe/base/21", 0xc8a23578u},
+    {"probe/base/22", 0x795de2afu},
+    {"station/reference", 0x09bf0343u},
+};
+constexpr std::uint32_t kGoldenFingerprint = 0xbf7ae600u;
+
+TEST(GoldenStateTest, TwentyDayFaultedSeasonFingerprint) {
+  Fleet fleet{golden_config()};
+  fleet.simulation().run_until(fleet.simulation().now() + sim::days(20) +
+                               sim::minutes(17));
+  const std::vector<std::uint8_t> snapshot = fleet.save_snapshot();
+  const snapshot::StateReader reader(snapshot);
+
+  bool drifted = reader.fingerprint() != kGoldenFingerprint ||
+                 reader.sections().size() != std::size(kGolden);
+  ASSERT_EQ(reader.sections().size(), std::size(kGolden));
+  for (std::size_t i = 0; i < std::size(kGolden); ++i) {
+    const auto& section = reader.sections()[i];
+    EXPECT_EQ(section.name, kGolden[i].name);
+    EXPECT_EQ(section.crc, kGolden[i].crc)
+        << "drifted section: " << section.name;
+    drifted = drifted || section.name != kGolden[i].name ||
+              section.crc != kGolden[i].crc;
+  }
+  EXPECT_EQ(reader.fingerprint(), kGoldenFingerprint);
+
+  if (drifted) {
+    std::printf("// freshly-computed golden table:\n");
+    for (const auto& section : reader.sections()) {
+      std::printf("    {\"%s\", 0x%08xu},\n", section.name.c_str(),
+                  section.crc);
+    }
+    std::printf("constexpr std::uint32_t kGoldenFingerprint = 0x%08xu;\n",
+                reader.fingerprint());
+  }
+}
+
+}  // namespace
+}  // namespace gw::station

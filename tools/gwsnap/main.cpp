@@ -1,0 +1,115 @@
+// gwsnap — inspect and compare GWSNAP fleet snapshots (docs/SNAPSHOT.md).
+//
+//   gwsnap info <file>            section table + whole-world fingerprint
+//   gwsnap diff <file-a> <file-b> per-section CRC comparison
+//
+// `info` prints one row per section (name, payload bytes, CRC-32) plus the
+// container fingerprint — the value the golden-state regression test pins.
+// `diff` reports which sections differ between two snapshots, so a drifted
+// golden fingerprint turns into a subsystem name instead of a blind hash
+// mismatch. Exit status: 0 clean, 1 snapshots differ, 2 usage/read error.
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "snapshot/error.h"
+#include "snapshot/state_writer.h"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: gwsnap info <file>\n"
+               "       gwsnap diff <file-a> <file-b>\n");
+  return 2;
+}
+
+bool read_file(const std::string& path, std::vector<std::uint8_t>& bytes) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "gwsnap: cannot open %s\n", path.c_str());
+    return false;
+  }
+  bytes.assign(std::istreambuf_iterator<char>(in),
+               std::istreambuf_iterator<char>());
+  return true;
+}
+
+int info(const std::string& path) {
+  std::vector<std::uint8_t> bytes;
+  if (!read_file(path, bytes)) return 2;
+  try {
+    const gw::snapshot::StateReader reader(bytes);
+    std::printf("%s: %zu bytes, %zu sections\n", path.c_str(), bytes.size(),
+                reader.sections().size());
+    std::printf("  %-28s %12s  %s\n", "section", "bytes", "crc32");
+    for (const auto& section : reader.sections()) {
+      std::printf("  %-28s %12zu  %08x\n", section.name.c_str(),
+                  section.payload.size(), section.crc);
+    }
+    std::printf("  fingerprint %08x\n", reader.fingerprint());
+    return 0;
+  } catch (const gw::snapshot::SnapshotError& error) {
+    std::fprintf(stderr, "gwsnap: %s: %s\n", path.c_str(), error.what());
+    return 2;
+  }
+}
+
+int diff(const std::string& path_a, const std::string& path_b) {
+  std::vector<std::uint8_t> bytes_a;
+  std::vector<std::uint8_t> bytes_b;
+  if (!read_file(path_a, bytes_a) || !read_file(path_b, bytes_b)) return 2;
+  try {
+    const gw::snapshot::StateReader reader_a(bytes_a);
+    const gw::snapshot::StateReader reader_b(bytes_b);
+    std::map<std::string, std::uint32_t> crcs_a;
+    std::map<std::string, std::uint32_t> crcs_b;
+    for (const auto& section : reader_a.sections()) {
+      crcs_a[section.name] = section.crc;
+    }
+    for (const auto& section : reader_b.sections()) {
+      crcs_b[section.name] = section.crc;
+    }
+    int differences = 0;
+    for (const auto& [name, crc] : crcs_a) {
+      const auto other = crcs_b.find(name);
+      if (other == crcs_b.end()) {
+        std::printf("only in %s: %s\n", path_a.c_str(), name.c_str());
+        ++differences;
+      } else if (other->second != crc) {
+        std::printf("section differs: %s (%08x vs %08x)\n", name.c_str(),
+                    crc, other->second);
+        ++differences;
+      }
+    }
+    for (const auto& [name, crc] : crcs_b) {
+      if (crcs_a.find(name) == crcs_a.end()) {
+        std::printf("only in %s: %s\n", path_b.c_str(), name.c_str());
+        ++differences;
+      }
+    }
+    if (differences == 0) {
+      std::printf("snapshots identical (fingerprint %08x)\n",
+                  reader_a.fingerprint());
+      return 0;
+    }
+    std::printf("%d section(s) differ (fingerprints %08x vs %08x)\n",
+                differences, reader_a.fingerprint(), reader_b.fingerprint());
+    return 1;
+  } catch (const gw::snapshot::SnapshotError& error) {
+    std::fprintf(stderr, "gwsnap: %s\n", error.what());
+    return 2;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string command = argc > 1 ? argv[1] : "";
+  if (command == "info" && argc == 3) return info(argv[2]);
+  if (command == "diff" && argc == 4) return diff(argv[2], argv[3]);
+  return usage();
+}
