@@ -1,0 +1,307 @@
+// Component energy breakdown x DVFS sweep (docs/ENERGY.md).
+//
+// The paper budgets the station as a whole (Table 1 draws, Table 2 power
+// states); the activity-state refactor lets us ask where the joules
+// actually go. This bench warms one scripted faulted season to day 20,
+// snapshots it, and branches it nine ways on MonteCarloRunner::run_forked —
+// a 3 x 3 grid of Table 2 threshold variants x Gumstix DVFS frequency
+// plans, both of which live in config (not in the snapshot) so every
+// branch diverges from the identical day-20 world.
+//
+// For each branch it reads the base station's exact per-component,
+// per-state microjoule ledgers off the PowerSystem and checks the
+// conservation invariant live: the ledgers must sum to the battery-side
+// delivered meter to the microjoule, or the bench exits non-zero.
+//
+// Exports BENCH_energy_breakdown.json (schema glacsweb.bench.v1,
+// deterministic: integer ledgers, no wall-clock, no thread-count marker).
+// scripts/check.sh byte-diffs the export at 1 thread vs the default pool.
+#include <array>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/power_policy.h"
+#include "power/power_system.h"
+#include "runner/monte_carlo_runner.h"
+#include "station/fleet.h"
+#include "util/strings.h"
+
+namespace gw {
+namespace {
+
+constexpr std::uint64_t kSeasonSeed = 20080601;
+constexpr double kCheckpointDays = 20.0;
+constexpr double kSeasonDays = 40.0;
+// 17 minutes past the day-20 boundary: off every wake window, sample slot
+// and fault-window edge (same quiescent skew as bench_fork_warmup).
+constexpr int kCheckpointSkewMinutes = 17;
+
+constexpr const char* kSeasonSpec =
+    "# branched adversarial season (docs/ENERGY.md)\n"
+    "gprs_outage      start=5d  duration=7d  severity=1.0\n"
+    "dgps_no_fix      start=14d duration=2d  severity=0.9\n"
+    "cf_write_fail    start=16d duration=1d  severity=0.3\n"
+    "server_down      start=18d duration=12h\n"
+    "harvest_blackout start=25d duration=8d  severity=1.0\n";
+
+// --- the 3 x 3 branch grid ------------------------------------------------
+
+struct ThresholdVariant {
+  const char* name;
+  core::PowerPolicyConfig policy;
+};
+
+// Table 2 thresholds and two shifted variants. Policy lives in config, not
+// in the snapshot, so a branch may re-read the same day-20 battery with a
+// different ruler.
+std::array<ThresholdVariant, 3> threshold_variants() {
+  ThresholdVariant paper{"paper", {}};
+  ThresholdVariant cautious{"cautious", {}};
+  cautious.policy.state3_threshold = util::Volts{12.8};
+  cautious.policy.state2_threshold = util::Volts{12.4};
+  cautious.policy.state1_threshold = util::Volts{12.0};
+  ThresholdVariant eager{"eager", {}};
+  eager.policy.state3_threshold = util::Volts{12.2};
+  eager.policy.state2_threshold = util::Volts{11.7};
+  eager.policy.state1_threshold = util::Volts{11.3};
+  return {paper, cautious, eager};
+}
+
+struct FrequencyPlan {
+  const char* name;
+  // Operating-point index per Table 2 state (index into the default
+  // three-point 200/300/400 MHz plan; -1 = top). The *set* of operating
+  // points is wiring and must match the snapshot — only the per-state
+  // selection varies.
+  std::array<int, 4> by_state;
+};
+
+constexpr std::array<FrequencyPlan, 3> kFrequencyPlans{{
+    {"top", {-1, -1, -1, -1}},     // always 400 MHz (the deployed firmware)
+    {"stepped", {0, 1, 1, -1}},    // scale with the power state
+    {"slow", {0, 0, 0, 0}},        // always 200 MHz
+}};
+
+constexpr std::size_t kThresholdVariants = 3;
+constexpr std::size_t kBranches = kThresholdVariants * kFrequencyPlans.size();
+
+std::string branch_label(std::size_t trial) {
+  return std::string(threshold_variants()[trial / kFrequencyPlans.size()]
+                         .name) +
+         "/" + kFrequencyPlans[trial % kFrequencyPlans.size()].name;
+}
+
+station::FleetConfig season_config(std::size_t trial) {
+  // By value: threshold_variants() returns a temporary array, and a
+  // reference through operator[] would dangle past this statement.
+  const ThresholdVariant thresholds =
+      threshold_variants()[trial / kFrequencyPlans.size()];
+  const FrequencyPlan& plan = kFrequencyPlans[trial % kFrequencyPlans.size()];
+
+  station::FleetConfig config;
+  config.seed = kSeasonSeed;
+  config.start = sim::DateTime{2008, 6, 1, 0, 0, 0};
+  config.trace_enabled = false;
+  config.fault_spec = kSeasonSpec;
+
+  station::StationSpec base;
+  base.station.name = "base";
+  base.station.role = station::StationRole::kBaseStation;
+  // Under-provisioned, leaky bank so the blackout post-branch actually
+  // bites and the threshold variants disagree (same shape as
+  // bench_fork_warmup).
+  base.station.power.battery.capacity = util::AmpHours{6.0};
+  base.station.power.battery.initial_soc = 0.6;
+  base.station.power.battery.self_discharge_per_day = 0.10;
+  base.station.uploads.session_timeout = sim::minutes(15);
+  base.station.uploads.retry_backoff_base = sim::minutes(1);
+  base.station.degrade_after_failed_days = 3;
+  base.station.policy = thresholds.policy;
+  base.station.gumstix_freq_by_state = plan.by_state;
+  base.sync_group = "g1";
+  base.chargers = {station::ChargerKind::kSolar, station::ChargerKind::kWind};
+  base.probe_count = 3;
+  config.stations.push_back(std::move(base));
+
+  station::StationSpec reference;
+  reference.station.name = "reference";
+  reference.station.role = station::StationRole::kReferenceStation;
+  reference.station.policy = thresholds.policy;
+  reference.station.gumstix_freq_by_state = plan.by_state;
+  reference.sync_group = "g1";
+  reference.chargers = {station::ChargerKind::kSolar,
+                        station::ChargerKind::kMains};
+  reference.probe_count = 0;
+  config.stations.push_back(std::move(reference));
+  return config;
+}
+
+// --- outcomes -------------------------------------------------------------
+
+struct StateLedger {
+  std::string key;  // "<component>.<state>"
+  std::int64_t uj = 0;
+  std::int64_t ms = 0;
+};
+
+struct BranchOutcome {
+  std::vector<StateLedger> ledgers;  // base station, registration order
+  std::int64_t delivered_uj = 0;
+  std::int64_t component_uj = 0;
+  std::int64_t absorbed_uj = 0;
+  std::uint64_t base_files = 0;
+  std::int64_t base_bytes = 0;
+  std::uint64_t brown_outs = 0;
+  std::uint64_t runs = 0;
+};
+
+BranchOutcome branch_outcome(station::Fleet& fleet) {
+  BranchOutcome outcome;
+  station::Station& base = fleet.station(0);
+  power::PowerSystem& power = base.power();
+  for (std::size_t c = 0; c < power.component_count(); ++c) {
+    const energy::ComponentModel& component = power.component(c);
+    for (std::size_t s = 0; s < component.state_count(); ++s) {
+      outcome.ledgers.push_back({component.name() + "." +
+                                     component.state(s).name,
+                                 component.energy_uj(s),
+                                 component.active_ms(s)});
+    }
+  }
+  outcome.delivered_uj = power.delivered_microjoules();
+  outcome.component_uj = power.component_microjoules();
+  outcome.absorbed_uj = power.absorbed_microjoules();
+  outcome.base_files = std::uint64_t(fleet.server().files_from("base"));
+  outcome.base_bytes = fleet.server().bytes_from("base").count();
+  outcome.brown_outs = std::uint64_t(base.stats().brown_outs);
+  outcome.runs = std::uint64_t(base.stats().runs_completed);
+  return outcome;
+}
+
+sim::Duration checkpoint_offset() {
+  return sim::days(kCheckpointDays) + sim::minutes(kCheckpointSkewMinutes);
+}
+
+// Warm the shared prefix once under the paper/top branch (trial 0 — the
+// deployed firmware's configuration) and seal it.
+std::vector<std::uint8_t> warm_season_prefix() {
+  station::Fleet fleet{season_config(0)};
+  fleet.simulation().run_until(fleet.simulation().now() +
+                               checkpoint_offset());
+  return fleet.save_snapshot();
+}
+
+BranchOutcome forked_trial(std::size_t trial,
+                           const std::vector<std::uint8_t>& snapshot) {
+  auto fleet = std::make_unique<station::Fleet>(season_config(trial));
+  fleet->restore_snapshot(snapshot);
+  fleet->simulation().run_until(sim::to_time(fleet->config().start) +
+                                sim::days(kSeasonDays));
+  return branch_outcome(*fleet);
+}
+
+void run() {
+  bench::heading(
+      "Component energy breakdown x DVFS sweep (docs/ENERGY.md)");
+  bench::note("one day-20 snapshot, " + std::to_string(kBranches) +
+              " branches: Table 2 thresholds {paper, cautious, eager} x "
+              "Gumstix plans {top, stepped, slow}");
+  runner::MonteCarloRunner pool{bench::thread_count()};
+  const std::vector<BranchOutcome> outcomes = pool.run_forked(
+      kBranches, [] { return warm_season_prefix(); },
+      [](std::size_t trial, const std::vector<std::uint8_t>& snapshot) {
+        return forked_trial(trial, snapshot);
+      });
+
+  // Live conservation gate: per-component ledgers must sum to the
+  // battery-side delivered meter exactly, in every branch.
+  for (std::size_t trial = 0; trial < outcomes.size(); ++trial) {
+    const BranchOutcome& outcome = outcomes[trial];
+    if (outcome.component_uj != outcome.delivered_uj) {
+      std::fprintf(stderr,
+                   "[FAIL] branch %s: component ledgers %lld uJ != "
+                   "delivered %lld uJ\n",
+                   branch_label(trial).c_str(),
+                   (long long)outcome.component_uj,
+                   (long long)outcome.delivered_uj);
+      std::exit(1);
+    }
+  }
+  bench::note("conservation: ledger sum == delivered meter exactly, all " +
+              std::to_string(kBranches) + " branches");
+
+  bench::subheading("branch summary (base station, day 40)");
+  bench::row({"Branch", "Thresholds", "Plan", "Consumed J", "Files",
+              "Brown-outs", "J/KiB"},
+             {7, 11, 8, 11, 6, 11, 9});
+  for (std::size_t trial = 0; trial < outcomes.size(); ++trial) {
+    const BranchOutcome& outcome = outcomes[trial];
+    const double joules = double(outcome.delivered_uj) / 1e6;
+    const double kib = double(outcome.base_bytes) / 1024.0;
+    bench::row(
+        {std::to_string(trial),
+         threshold_variants()[trial / kFrequencyPlans.size()].name,
+         kFrequencyPlans[trial % kFrequencyPlans.size()].name,
+         util::format_fixed(joules, 0), std::to_string(outcome.base_files),
+         std::to_string(outcome.brown_outs),
+         kib > 0.0 ? util::format_fixed(joules / kib, 1) : "-"},
+        {7, 11, 8, 11, 6, 11, 9});
+  }
+
+  bench::subheading("per-state breakdown, branch 0 (paper/top)");
+  bench::row({"Component.state", "Joules", "Hours"}, {26, 10, 8});
+  for (const StateLedger& ledger : outcomes.front().ledgers) {
+    if (ledger.uj == 0 && ledger.ms == 0) continue;
+    bench::row({ledger.key, util::format_fixed(double(ledger.uj) / 1e6, 1),
+                util::format_fixed(double(ledger.ms) / 3.6e6, 2)},
+               {26, 10, 8});
+  }
+  bench::note("all " + std::to_string(kBranches) +
+              " branches' full ledgers are in the JSON export");
+
+  // --- deterministic export ----------------------------------------------
+  // Integer microjoule ledgers divided by 1e6: identical at any thread
+  // count (scripts/check.sh leg 9 byte-diffs 1 thread vs default).
+  obs::MetricsRegistry registry;
+  for (std::size_t trial = 0; trial < outcomes.size(); ++trial) {
+    const BranchOutcome& outcome = outcomes[trial];
+    const std::string component = "branch" + std::to_string(trial);
+    for (const StateLedger& ledger : outcome.ledgers) {
+      registry.gauge(component, ledger.key + ".joules")
+          .set(double(ledger.uj) / 1e6);
+      registry.gauge(component, ledger.key + ".seconds")
+          .set(double(ledger.ms) / 1e3);
+    }
+    registry.gauge(component, "delivered_joules")
+        .set(double(outcome.delivered_uj) / 1e6);
+    registry.gauge(component, "harvest_absorbed_joules")
+        .set(double(outcome.absorbed_uj) / 1e6);
+    registry.gauge(component, "base_files").set(double(outcome.base_files));
+    registry.gauge(component, "base_bytes").set(double(outcome.base_bytes));
+    registry.gauge(component, "brown_outs").set(double(outcome.brown_outs));
+    registry.gauge(component, "runs").set(double(outcome.runs));
+  }
+  obs::BenchReport report;
+  report.bench = "energy_breakdown";
+  report.meta = {{"branches", std::to_string(kBranches)},
+                 {"checkpoint_day", util::format_fixed(kCheckpointDays, 0)},
+                 {"season_days", util::format_fixed(kSeasonDays, 0)},
+                 {"seed", std::to_string(kSeasonSeed)}};
+  for (std::size_t trial = 0; trial < kBranches; ++trial) {
+    report.meta.push_back(
+        {"branch" + std::to_string(trial), branch_label(trial)});
+  }
+  report.sections = {{"energy", &registry, nullptr}};
+  bench::export_report(report);
+}
+
+}  // namespace
+}  // namespace gw
+
+int main() {
+  gw::run();
+  return 0;
+}

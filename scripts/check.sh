@@ -44,13 +44,19 @@
 #      observable byte and fails the check (docs/SNAPSHOT.md). Leaves the
 #      export and the BENCH_fork_warmup.gwsnap container in the repo root;
 #      disabled together with leg 5 via GW_CHECK_BENCH=0;
-#   9. gwlint (always-on once built — it compiles with the repo): the
+#   9. energy breakdown determinism gate: when build/bench/
+#      bench_energy_breakdown exists, runs the threshold × frequency-plan
+#      sweep twice — GW_BENCH_THREADS=1 and the defaults — and byte-diffs
+#      the two BENCH_energy_breakdown.json exports (docs/ENERGY.md).
+#      Leaves the export in the repo root; disabled together with leg 5
+#      via GW_CHECK_BENCH=0;
+#  10. gwlint (always-on once built — it compiles with the repo): the
 #      project's own analyzer (tools/gwlint) over src/ bench/ tests/
 #      examples/ tools/ — determinism bans (wall clocks, ambient entropy,
 #      getenv), layer-DAG enforcement against tools/gwlint/layers.toml,
 #      unordered-container iteration, header hygiene. Rule catalog and
 #      suppression policy: docs/STATIC_ANALYSIS.md;
-#  10. clang-tidy over the compilation database exported by CMake
+#  11. clang-tidy over the compilation database exported by CMake
 #      (build/compile_commands.json, curated checks in .clang-tidy) —
 #      gated on clang-tidy being installed, like the clang-format leg.
 #
@@ -226,7 +232,30 @@ else
   echo "skip: fork warm-prefix gate (GW_CHECK_BENCH=0)"
 fi
 
-# --- 9. gwlint -------------------------------------------------------------
+# --- 9. energy breakdown determinism gate ----------------------------------
+if [ "${GW_CHECK_BENCH:-1}" = "1" ]; then
+  if [ -x build/bench/bench_energy_breakdown ]; then
+    echo "== energy breakdown sweep: 1 thread vs defaults (byte-diff gate)"
+    if GW_BENCH_THREADS=1 ./build/bench/bench_energy_breakdown >/dev/null &&
+       mv BENCH_energy_breakdown.json BENCH_energy_breakdown.1thread.json &&
+       ./build/bench/bench_energy_breakdown >/dev/null &&
+       cmp -s BENCH_energy_breakdown.json BENCH_energy_breakdown.1thread.json; then
+      rm -f BENCH_energy_breakdown.1thread.json
+      echo "ok: BENCH_energy_breakdown.json byte-identical at 1 vs N threads"
+    else
+      echo "FAIL: energy breakdown export differs across thread counts" \
+           "(compare BENCH_energy_breakdown.json vs" \
+           "BENCH_energy_breakdown.1thread.json; docs/ENERGY.md)"
+      failures=$((failures + 1))
+    fi
+  else
+    echo "skip: bench_energy_breakdown not built (build the default tree first)"
+  fi
+else
+  echo "skip: energy breakdown gate (GW_CHECK_BENCH=0)"
+fi
+
+# --- 10. gwlint ------------------------------------------------------------
 if [ -x build/tools/gwlint ]; then
   echo "== gwlint (determinism + layering + hygiene rules)"
   if ./build/tools/gwlint --root . --config tools/gwlint/layers.toml \
@@ -241,7 +270,7 @@ else
   echo "skip: gwlint not built (build the default tree first)"
 fi
 
-# --- 10. clang-tidy --------------------------------------------------------
+# --- 11. clang-tidy --------------------------------------------------------
 if command -v clang-tidy >/dev/null 2>&1; then
   if [ -f build/compile_commands.json ]; then
     echo "== clang-tidy (curated checks from .clang-tidy, src/ TUs)"

@@ -19,7 +19,10 @@
 #include <deque>
 #include <functional>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "energy/component_model.h"
 #include "env/gps_sky.h"
 #include "fault/fault.h"
 #include "power/power_system.h"
@@ -65,7 +68,7 @@ class DgpsReceiver {
         config_(config),
         rng_(rng),
         sky_(sky),
-        load_(power.add_load("dgps", config.power)) {}
+        load_(power.add_component(make_spec(config))) {}
 
   // Attaches scripted fault windows (dgps_no_fix); null detaches.
   void set_fault_oracle(fault::FaultOracle* oracle) { oracle_ = oracle; }
@@ -80,7 +83,12 @@ class DgpsReceiver {
   void power_on(std::function<void()> on_reading_complete = {}) {
     if (powered_) return;
     powered_ = true;
-    power_.set_load(load_, true);
+    // Attribution (docs/ENERGY.md): the automatic reading that starts at
+    // power-on is "acquiring"; whatever powered time follows (serial
+    // fetches, a time fix for the recovery path) books as "logging". Both
+    // draw Table 1's 3.6 W.
+    power_.set_activity(load_, kLogging);
+    power_.plan_activity(load_, {{kAcquiring, config_.reading_duration}});
     const std::uint64_t generation = ++power_generation_;
     const sim::SimTime started = simulation_.now();
     simulation_.schedule_in(config_.reading_duration,
@@ -97,7 +105,7 @@ class DgpsReceiver {
     if (!powered_) return;
     powered_ = false;
     ++power_generation_;
-    power_.set_load(load_, false);
+    power_.set_activity(load_, 0);
   }
 
   // --- stored files ---------------------------------------------------------
@@ -189,6 +197,18 @@ class DgpsReceiver {
   }
 
  private:
+  static constexpr std::size_t kAcquiring = 1;
+  static constexpr std::size_t kLogging = 2;
+
+  static energy::ComponentSpec make_spec(const DgpsConfig& config) {
+    energy::ComponentSpec spec;
+    spec.name = "dgps";
+    spec.states.push_back({"off", util::Watts{0.0}, 0.0});
+    spec.states.push_back({"acquiring", config.power, 0.0});
+    spec.states.push_back({"logging", config.power, 0.0});
+    return spec;
+  }
+
   void store_reading(sim::SimTime started) {
     // §III: "the exact size varies depending on the number of satellites
     // available at the time of the reading."

@@ -18,7 +18,10 @@
 #include <algorithm>
 #include <cstdint>
 #include <limits>
+#include <utility>
+#include <vector>
 
+#include "energy/component_model.h"
 #include "fault/fault.h"
 #include "power/power_system.h"
 #include "sim/simulation.h"
@@ -64,7 +67,7 @@ class GprsModem {
         power_(power),
         config_(config),
         rng_(rng),
-        load_(power.add_load("gprs", config.power)) {}
+        load_(power.add_component(make_spec(config))) {}
 
   // Attaches scripted fault windows (gprs_outage); null detaches.
   void set_fault_oracle(fault::FaultOracle* oracle) { oracle_ = oracle; }
@@ -77,14 +80,14 @@ class GprsModem {
     ++hold_generation_;
     if (powered_) return;
     powered_ = true;
-    power_.set_load(load_, true);
+    power_.set_activity(load_, kIdle);
   }
 
   void power_off() {
     ++hold_generation_;
     if (!powered_) return;
     powered_ = false;
-    power_.set_load(load_, false);
+    power_.set_activity(load_, 0);
   }
 
   // Powers on and schedules an automatic power-off after `duration` — the
@@ -138,6 +141,7 @@ class GprsModem {
           oracle_->active(fault::FaultKind::kGprsOutage, now)) {
         oracle_->record_trip(fault::FaultKind::kGprsOutage, now);
       }
+      plan_session(outcome.elapsed);
       return outcome;
     }
     if (rng_.bernoulli(config_.hang_per_session)) {
@@ -146,6 +150,7 @@ class GprsModem {
       ++hangs_;
       outcome.hung = true;
       outcome.elapsed += std::min(config_.hang_duration, session_cap);
+      plan_session(outcome.elapsed);
       return outcome;
     }
     const double drop_per_minute = std::min(
@@ -186,6 +191,7 @@ class GprsModem {
     } else {
       ++sessions_succeeded_;
     }
+    plan_session(outcome.elapsed);
     return outcome;
   }
 
@@ -234,6 +240,35 @@ class GprsModem {
   }
 
  private:
+  // Activity states (docs/ENERGY.md): all powered states draw Table 1's
+  // 2640 mW — the split is attribution, telling the energy ledgers how much
+  // of a session went to network registration versus moving payload.
+  static constexpr std::size_t kIdle = 1;
+  static constexpr std::size_t kRegistering = 2;
+  static constexpr std::size_t kTx = 3;
+
+  static energy::ComponentSpec make_spec(const GprsConfig& config) {
+    energy::ComponentSpec spec;
+    spec.name = "gprs";
+    spec.states.push_back({"off", util::Watts{0.0}, 0.0});
+    spec.states.push_back({"idle", config.power, 0.0});
+    spec.states.push_back({"registering", config.power, 0.0});
+    spec.states.push_back({"tx", config.power, 0.0});
+    return spec;
+  }
+
+  // Lays the attribution plan for a session the caller is about to walk the
+  // clock through: registration first, the remainder (payload or a hung
+  // stall) as tx. The base activity (idle) resumes when the plan expires.
+  void plan_session(sim::Duration elapsed) {
+    const sim::Duration registration =
+        std::min(config_.registration_time, elapsed);
+    std::vector<std::pair<std::size_t, sim::Duration>> plan;
+    plan.push_back({kRegistering, registration});
+    if (elapsed > registration) plan.push_back({kTx, elapsed - registration});
+    power_.plan_activity(load_, plan);
+  }
+
   sim::Simulation& simulation_;
   power::PowerSystem& power_;
   GprsConfig config_;

@@ -5,18 +5,45 @@
 // reason the platform pairs it with an MSP430 and only powers it "when there
 // is a need for more processing power". The model tracks power state, boot
 // latency, and cumulative uptime; the energy cost flows through the
-// PowerSystem load it registers.
+// activity-state component it registers (docs/ENERGY.md).
+//
+// DVFS: the PXA-class core exposes a plan of (frequency, core voltage)
+// operating points. Each point is a distinct "run@<f>MHz" activity state
+// whose draw scales as P = P_top · (f/f_top) · (V/V_top)², per the classic
+// CMOS dynamic-power model the DVFS literature builds on. Selecting the top
+// point (the default) reproduces Table 1's 900 mW bitwise; slower points
+// trade longer compute time (cpu_scale()) for lower draw, which is what
+// makes a frequency plan per power state a searchable policy knob.
 #pragma once
 
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "energy/component_model.h"
 #include "power/power_system.h"
 #include "sim/simulation.h"
 #include "util/units.h"
 
 namespace gw::hw {
 
+struct GumstixOperatingPoint {
+  double mhz = 400.0;
+  util::Volts core_volts{1.3};
+};
+
 struct GumstixConfig {
-  util::Watts run_power{0.9};  // Table 1
+  util::Watts run_power{0.9};  // Table 1, at the top operating point
   sim::Duration boot_time = sim::seconds(25);  // Linux boot to usable shell
+  // Ascending frequency; the last entry is the full-speed point whose draw
+  // is exactly run_power (PXA255-class ladder).
+  std::vector<GumstixOperatingPoint> frequency_plan = {
+      {200.0, util::Volts{1.0}},
+      {300.0, util::Volts{1.1}},
+      {400.0, util::Volts{1.3}},
+  };
 };
 
 class Gumstix {
@@ -27,11 +54,48 @@ class Gumstix {
           GumstixConfig config = {})
       : simulation_(simulation),
         power_(power),
-        config_(config),
-        load_(power.add_load("gumstix", config.run_power)) {}
+        config_(std::move(config)),
+        selected_(config_.frequency_plan.size() - 1),
+        load_(power.add_component(make_spec(config_))) {}
 
   [[nodiscard]] State state() const { return state_; }
   [[nodiscard]] bool running() const { return state_ == State::kRunning; }
+
+  // --- DVFS ---------------------------------------------------------------
+
+  [[nodiscard]] const std::vector<GumstixOperatingPoint>& frequency_plan()
+      const {
+    return config_.frequency_plan;
+  }
+  [[nodiscard]] std::size_t selected_point() const { return selected_; }
+
+  // Selects an operating point. Takes effect immediately when running
+  // (an activity transition); while off or booting it is latched for the
+  // next run state entry.
+  void set_frequency_index(std::size_t index) {
+    config_.frequency_plan.at(index);  // bounds check
+    selected_ = index;
+    if (state_ == State::kRunning) {
+      power_.set_activity(load_, run_state(selected_));
+    }
+  }
+
+  // How much longer CPU-bound work takes at the selected point relative to
+  // full speed (1.0 at the top point, exactly).
+  [[nodiscard]] double cpu_scale() const {
+    return config_.frequency_plan.back().mhz /
+           config_.frequency_plan[selected_].mhz;
+  }
+
+  // Stretches a full-speed compute duration by cpu_scale(); returns the
+  // duration untouched (bitwise) at the top point.
+  [[nodiscard]] sim::Duration scaled(sim::Duration full_speed) const {
+    const double scale = cpu_scale();
+    if (scale == 1.0) return full_speed;
+    return sim::Duration{std::llround(double(full_speed.millis()) * scale)};
+  }
+
+  // --- power --------------------------------------------------------------
 
   // Applies power. Returns the time at which Linux is up; callers schedule
   // their first task at that moment. No-op (returns now) if already running.
@@ -39,7 +103,7 @@ class Gumstix {
     if (state_ == State::kRunning) return simulation_.now();
     if (state_ == State::kOff) {
       state_ = State::kBooting;
-      power_.set_load(load_, true);
+      power_.set_activity(load_, kBootState);
       powered_since_ = simulation_.now();
       ++boot_count_;
       boot_done_ = simulation_.now() + config_.boot_time;
@@ -54,7 +118,7 @@ class Gumstix {
   void power_off() {
     if (state_ == State::kOff) return;
     state_ = State::kOff;
-    power_.set_load(load_, false);
+    power_.set_activity(load_, 0);
     uptime_ += simulation_.now() - powered_since_;
   }
 
@@ -66,12 +130,15 @@ class Gumstix {
   [[nodiscard]] int boot_count() const { return boot_count_; }
   [[nodiscard]] const GumstixConfig& config() const { return config_; }
 
-  // Snapshot support (docs/SNAPSHOT.md). The load on/off flag itself is
+  // Snapshot support (docs/SNAPSHOT.md). The component's activity state is
   // restored by PowerSystem's persist; a boot in flight is rebuilt as a
   // pending event under its saved key.
   template <class Archive>
   void persist(Archive& ar) {
     ar.value(state_);
+    std::uint64_t selected = selected_;
+    ar.value(selected);
+    selected_ = std::size_t(selected);
     ar.value(powered_since_);
     ar.value(boot_done_);
     ar.value(uptime_);
@@ -81,13 +148,40 @@ class Gumstix {
   }
 
  private:
+  static constexpr std::size_t kBootState = 1;
+  [[nodiscard]] static std::size_t run_state(std::size_t point) {
+    return 2 + point;
+  }
+
+  static energy::ComponentSpec make_spec(const GumstixConfig& config) {
+    energy::ComponentSpec spec;
+    spec.name = "gumstix";
+    spec.states.push_back({"off", util::Watts{0.0}, 0.0});
+    // Boot burns full power: the kernel brings the core up at top speed.
+    spec.states.push_back({"boot", config.run_power, 0.0});
+    const GumstixOperatingPoint& top = config.frequency_plan.back();
+    for (const GumstixOperatingPoint& point : config.frequency_plan) {
+      const double volt_ratio = point.core_volts.value() / top.core_volts.value();
+      const double scale = (point.mhz / top.mhz) * volt_ratio * volt_ratio;
+      spec.states.push_back(
+          {"run@" + std::to_string(std::int64_t(std::llround(point.mhz))) +
+               "MHz",
+           util::Watts{config.run_power.value() * scale}, 0.0});
+    }
+    return spec;
+  }
+
   void finish_boot() {
-    if (state_ == State::kBooting) state_ = State::kRunning;
+    if (state_ == State::kBooting) {
+      state_ = State::kRunning;
+      power_.set_activity(load_, run_state(selected_));
+    }
   }
 
   sim::Simulation& simulation_;
   power::PowerSystem& power_;
   GumstixConfig config_;
+  std::size_t selected_;
   power::LoadHandle load_;
   State state_ = State::kOff;
   sim::SimTime powered_since_{};

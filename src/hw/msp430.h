@@ -20,6 +20,7 @@
 #include <optional>
 #include <vector>
 
+#include "energy/component_model.h"
 #include "power/power_system.h"
 #include "sim/simulation.h"
 #include "util/ring_buffer.h"
@@ -54,8 +55,11 @@ class Msp430 {
         power_(power),
         config_(config),
         samples_(config.sample_capacity),
-        load_(power.add_load("msp430", config.sleep_power)) {
-    power_.set_load(load_, true);
+        load_(power.add_component(make_spec(config))) {
+    // The MSP430 is never switched: it sits in its sleep state from
+    // construction (only a brown-out forces it off, and — matching the
+    // modelled hardware — nothing re-arms its draw until the next world).
+    power_.set_activity(load_, 1);
     // Crystal drift direction/magnitude fixed per board.
     drift_factor_ = 1.0 + config_.rtc_drift_ppm * 1e-6 * rng.uniform(-1.0, 1.0);
     rtc_anchor_sim_ = simulation_.now();
@@ -159,6 +163,14 @@ class Msp430 {
   }
 
  private:
+  static energy::ComponentSpec make_spec(const Msp430Config& config) {
+    energy::ComponentSpec spec;
+    spec.name = "msp430";
+    spec.states.push_back({"off", util::Watts{0.0}, 0.0});
+    spec.states.push_back({"sleep", config.sleep_power, 0.0});
+    return spec;
+  }
+
   void schedule_sample() {
     sample_event_ =
         simulation_.schedule_in(config_.sample_interval, [this] { fire_sample(); });

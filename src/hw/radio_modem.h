@@ -7,6 +7,7 @@
 // keeps the device here and puts session/ppp semantics in proto::PppLink.
 #pragma once
 
+#include "energy/component_model.h"
 #include "env/interference.h"
 #include "power/power_system.h"
 #include "sim/simulation.h"
@@ -29,20 +30,20 @@ class RadioModem {
         power_(power),
         interference_(interference),
         config_(config),
-        load_(power.add_load("radio_modem", config.power)) {}
+        load_(power.add_component(make_spec(config))) {}
 
   [[nodiscard]] bool powered() const { return powered_; }
 
   void power_on() {
     if (powered_) return;
     powered_ = true;
-    power_.set_load(load_, true);
+    power_.set_activity(load_, 1);
   }
 
   void power_off() {
     if (!powered_) return;
     powered_ = false;
-    power_.set_load(load_, false);
+    power_.set_activity(load_, 0);
   }
 
   [[nodiscard]] sim::Duration transfer_time(util::Bytes payload) const {
@@ -64,6 +65,14 @@ class RadioModem {
   [[nodiscard]] const RadioModemConfig& config() const { return config_; }
 
  private:
+  static energy::ComponentSpec make_spec(const RadioModemConfig& config) {
+    energy::ComponentSpec spec;
+    spec.name = "radio_modem";
+    spec.states.push_back({"off", util::Watts{0.0}, 0.0});
+    spec.states.push_back({"carrier", config.power, 0.0});
+    return spec;
+  }
+
   sim::Simulation& simulation_;
   power::PowerSystem& power_;
   env::InterferenceModel& interference_;

@@ -45,6 +45,8 @@ const char* to_string(EventType type) {
       return "future_report";
     case EventType::kIngestRejected:
       return "ingest_rejected";
+    case EventType::kActivityDropped:
+      return "activity_dropped";
   }
   return "unknown";
 }

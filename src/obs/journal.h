@@ -43,6 +43,8 @@ enum class EventType : int {
   kFutureReport = 17,    // a = seconds the report runs ahead, b = its state
   kIngestRejected = 18,  // a = queue kind (0 special/1 update/2 config),
                          // b = the per-station queue limit that was full
+  kActivityDropped = 19, // a = requested activity-state index,
+                         // b = the index the component stayed in (brown-out)
 };
 
 [[nodiscard]] const char* to_string(EventType type);

@@ -1,11 +1,23 @@
 // PowerSystem: the station's electrical backbone.
 //
-// Owns the battery, the chargers, and a registry of switched loads (every
-// hw device registers one — the Gumsense board's software-controlled
-// peripheral power switches, §II). A periodic tick integrates harvest
-// against consumption, tracks per-load and per-source energy ledgers, and
-// detects the two edges the paper's recovery logic cares about:
-//   * depletion (brown-out): all loads drop, MSP430 RAM/RTC are lost;
+// Owns the battery, the chargers, and a registry of energy components
+// (every hw device registers one — the Gumsense board's software-controlled
+// peripheral power switches, §II). Each component is an activity-state
+// machine (energy::ComponentModel, docs/ENERGY.md): instead of a flat
+// on/off load, devices report transitions between named states (boot,
+// run@400MHz, registering, tx, ...) whose draws may depend on air
+// temperature. A periodic tick integrates harvest against consumption,
+// keeps two views of the books —
+//   * legacy per-device double ledgers (consumed_by / harvested_by), and
+//   * exact integer-microjoule per-component, per-state ledgers whose sum
+//     equals the battery-side delivered meter to the microjoule
+//     (the conservation invariant; integer addition is associative so no
+//     grouping of the sum can break it) —
+// and detects the two edges the paper's recovery logic cares about:
+//   * depletion (brown-out): all components drop to their off state,
+//     MSP430 RAM/RTC are lost; transitions attempted while browned out are
+//     refused and journalled (obs::EventType::kActivityDropped), never
+//     silently parked for the post-recovery world;
 //   * recovery: external charging lifts the bank back above a restart
 //     threshold and the station can cold-boot (§IV).
 #pragma once
@@ -15,8 +27,10 @@
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "energy/component_model.h"
 #include "env/environment.h"
 #include "fault/fault.h"
 #include "obs/journal.h"
@@ -51,26 +65,65 @@ class PowerSystem {
   void add_charger(std::unique_ptr<Charger> charger) {
     chargers_.push_back(std::move(charger));
     harvested_.emplace(chargers_.back()->name(), util::Joules{0.0});
+    harvested_uj_.emplace(chargers_.back()->name(), 0);
   }
 
-  // Registers a named load; it starts switched off.
+  // Registers an activity-state component; it starts in state 0 (off).
+  LoadHandle add_component(energy::ComponentSpec spec) {
+    components_.emplace_back(std::move(spec));
+    consumed_.emplace(components_.back().name(), util::Joules{0.0});
+    return components_.size() - 1;
+  }
+
+  // Legacy wiring shim: a plain switched load is a two-state component.
   LoadHandle add_load(std::string name, util::Watts draw_when_on) {
-    loads_.push_back(Load{std::move(name), draw_when_on, false});
-    consumed_.emplace(loads_.back().name, util::Joules{0.0});
-    return loads_.size() - 1;
+    return add_component(energy::switched_load(std::move(name), draw_when_on));
+  }
+
+  // Base-activity transition. While browned out only the off state is
+  // reachable: anything else is refused and journalled as a dropped
+  // transition rather than silently applied to the post-recovery world.
+  void set_activity(LoadHandle handle, std::size_t state) {
+    energy::ComponentModel& component = components_.at(handle);
+    if (browned_out_ && state != 0) {
+      journal_dropped(component, state);
+      return;
+    }
+    component.set_activity(state);
+  }
+
+  // Attribution overlay (docs/ENERGY.md): a contiguous run of
+  // (state, dwell) spans starting now, for devices whose work is computed
+  // synchronously (e.g. a whole GPRS session). Refused while browned out.
+  void plan_activity(
+      LoadHandle handle,
+      const std::vector<std::pair<std::size_t, sim::Duration>>& segments) {
+    energy::ComponentModel& component = components_.at(handle);
+    if (browned_out_) {
+      if (!segments.empty()) journal_dropped(component, segments.front().first);
+      return;
+    }
+    component.set_plan(simulation_.now(), segments);
   }
 
   void set_load(LoadHandle handle, bool on) {
-    loads_.at(handle).on = on && !browned_out_;
+    set_activity(handle, on ? 1 : 0);
   }
 
-  // Some devices vary their draw (e.g. GPRS modem idle vs transmitting).
+  // Legacy draw mutation (state 1 of a switched load). Like any other
+  // transition it is refused and journalled during a brown-out — the new
+  // draw must not stick to the post-recovery component.
   void set_load_power(LoadHandle handle, util::Watts draw) {
-    loads_.at(handle).draw = draw;
+    energy::ComponentModel& component = components_.at(handle);
+    if (browned_out_) {
+      journal_dropped(component, component.activity());
+      return;
+    }
+    component.set_state_draw(1, draw);
   }
 
   [[nodiscard]] bool load_on(LoadHandle handle) const {
-    return loads_.at(handle).on;
+    return components_.at(handle).activity() != 0;
   }
 
   // --- lifecycle ----------------------------------------------------------
@@ -86,19 +139,21 @@ class PowerSystem {
   }
 
   // Optional instrumentation (docs/OBSERVABILITY.md): brown-out/restore
-  // edges go to the journal as they happen; the energy ledgers are mirrored
-  // into gauges by publish_ledgers() (ledger writes stay plain doubles on
-  // the per-tick path).
+  // edges and dropped transitions go to the journal as they happen; the
+  // energy ledgers are mirrored into gauges by publish_ledgers() (ledger
+  // writes stay plain integers/doubles on the per-tick path).
   void set_hooks(obs::Hooks hooks) { hooks_ = hooks; }
 
   // Attaches scripted fault windows (harvest_blackout: a buried panel or a
   // frozen turbine delivers severity-scaled-down watts); null detaches.
   void set_fault_oracle(fault::FaultOracle* oracle) { oracle_ = oracle; }
 
-  // Snapshots the ledgers and battery health into the registry under the
-  // "power" component: harvested_joules.<charger>, consumed_joules.<load>,
-  // battery_soc, brown_outs. Call at any natural boundary (the station does
-  // so at the end of each daily run).
+  // Snapshots the ledgers and battery health into the registry. Legacy
+  // totals stay under the "power" component (harvested_joules.<charger>,
+  // consumed_joules.<load>, battery_soc, brown_outs); the per-state
+  // breakdown lands under "energy" as <component>.<state>.joules /
+  // .seconds plus the two conservation meters. Call at any natural
+  // boundary (the station does so at the end of each daily run).
   void publish_ledgers() {
     if (hooks_.metrics == nullptr) return;
     auto& metrics = *hooks_.metrics;
@@ -109,6 +164,19 @@ class PowerSystem {
       metrics.gauge("power", "consumed_joules." + name).set(joules.value());
     }
     metrics.gauge("power", "battery_soc").set(battery_.soc());
+    for (const auto& component : components_) {
+      for (std::size_t i = 0; i < component.state_count(); ++i) {
+        const std::string key = component.name() + "." + component.state(i).name;
+        metrics.gauge("energy", key + ".joules")
+            .set(double(component.energy_uj(i)) / 1e6);
+        metrics.gauge("energy", key + ".seconds")
+            .set(component.active_seconds(i));
+      }
+    }
+    metrics.gauge("energy", "battery_delivered_joules")
+        .set(double(delivered_uj_) / 1e6);
+    metrics.gauge("energy", "harvest_absorbed_joules")
+        .set(double(absorbed_uj_) / 1e6);
   }
 
   // --- observation ---------------------------------------------------------
@@ -118,6 +186,46 @@ class PowerSystem {
   [[nodiscard]] const LeadAcidBattery& battery() const { return battery_; }
   [[nodiscard]] bool browned_out() const { return browned_out_; }
 
+  [[nodiscard]] std::size_t component_count() const {
+    return components_.size();
+  }
+  [[nodiscard]] const energy::ComponentModel& component(
+      LoadHandle handle) const {
+    return components_.at(handle);
+  }
+  [[nodiscard]] const energy::ComponentModel* find_component(
+      const std::string& name) const {
+    for (const auto& component : components_) {
+      if (component.name() == name) return &component;
+    }
+    return nullptr;
+  }
+
+  // Battery-side conservation meters: every microjoule quantum charged to
+  // any component ledger is simultaneously added to delivered_uj_, and
+  // every harvest quantum to absorbed_uj_ — so
+  //   sum over components/states of energy_uj == delivered_microjoules()
+  // holds exactly, always.
+  [[nodiscard]] energy::MicroJoules delivered_microjoules() const {
+    return delivered_uj_;
+  }
+  [[nodiscard]] energy::MicroJoules absorbed_microjoules() const {
+    return absorbed_uj_;
+  }
+  [[nodiscard]] energy::MicroJoules component_microjoules() const {
+    energy::MicroJoules total = 0;
+    for (const auto& component : components_) total += component.total_uj();
+    return total;
+  }
+  [[nodiscard]] energy::MicroJoules harvested_microjoules(
+      const std::string& name) const {
+    const auto it = harvested_uj_.find(name);
+    if (it == harvested_uj_.end()) {
+      throw std::out_of_range("PowerSystem: unknown charger " + name);
+    }
+    return it->second;
+  }
+
   // Instantaneous terminal voltage under the present net current — what the
   // Gumsense ADC samples every 30 minutes.
   [[nodiscard]] util::Volts terminal_voltage() {
@@ -126,9 +234,10 @@ class PowerSystem {
   }
 
   [[nodiscard]] util::Watts total_load_power() const {
+    const sim::SimTime now = simulation_.now();
     util::Watts sum{0.0};
-    for (const auto& load : loads_) {
-      if (load.on) sum += load.draw;
+    for (const auto& component : components_) {
+      sum += component.draw_at(component.active_at(now), last_temp_);
     }
     return sum;
   }
@@ -168,35 +277,30 @@ class PowerSystem {
   [[nodiscard]] int brown_out_count() const { return brown_out_count_; }
 
   // Snapshot support (docs/SNAPSHOT.md). Chargers, handlers, hooks and the
-  // oracle pointer are wiring the restored world rebuilds; load *names* are
-  // saved as a cross-check that the wiring actually matches.
+  // oracle pointer are wiring the restored world rebuilds; component names
+  // and state counts are saved as a cross-check that the wiring actually
+  // matches (energy::ComponentModel::persist enforces both).
   template <class Archive>
   void persist(Archive& ar) {
     double soc = battery_.soc();
     ar.value(soc);
     if constexpr (!Archive::kIsSaver) battery_.set_soc(soc);
-    std::uint64_t load_count = loads_.size();
-    ar.value(load_count);
-    if (load_count != loads_.size()) {
+    std::uint64_t component_count = components_.size();
+    ar.value(component_count);
+    if (component_count != components_.size()) {
       throw snapshot::SnapshotError(
           snapshot::SnapshotErrc::kStateMismatch,
-          "snapshot has " + std::to_string(load_count) +
-              " load(s), this world wired " + std::to_string(loads_.size()));
+          "snapshot has " + std::to_string(component_count) +
+              " component(s), this world wired " +
+              std::to_string(components_.size()));
     }
-    for (auto& load : loads_) {
-      std::string name = load.name;
-      ar.value(name);
-      if (name != load.name) {
-        throw snapshot::SnapshotError(snapshot::SnapshotErrc::kStateMismatch,
-                                      "load '" + name +
-                                          "' in snapshot, '" + load.name +
-                                          "' in this world");
-      }
-      ar.value(load.draw);
-      ar.value(load.on);
-    }
+    for (auto& component : components_) component.persist(ar);
     ar.value(consumed_);
     ar.value(harvested_);
+    ar.value(harvested_uj_);
+    ar.value(delivered_uj_);
+    ar.value(absorbed_uj_);
+    ar.value(last_temp_);
     ar.value(last_charge_current_);
     ar.value(browned_out_);
     ar.value(brown_out_count_);
@@ -211,6 +315,7 @@ class PowerSystem {
     const util::Celsius temp = environment_.temperature().air(now);
     const double dt_hours = dt.to_hours();
     const double dt_seconds = dt.to_seconds();
+    last_temp_ = temp;
 
     const double harvest_factor =
         oracle_ != nullptr
@@ -221,14 +326,36 @@ class PowerSystem {
       const util::Watts watts =
           charger->output(now, environment_) * harvest_factor;
       harvested_[charger->name()] += util::energy(watts, dt_seconds);
+      const energy::MicroJoules uj = energy::quantum(watts, dt_seconds);
+      harvested_uj_[charger->name()] += uj;
+      absorbed_uj_ += uj;
       harvest_total += watts;
     }
     last_charge_current_ = harvest_total / config_.nominal;
 
-    for (auto& load : loads_) {
-      if (load.on) {
-        consumed_[load.name] += util::energy(load.draw, dt_seconds);
-      }
+    for (auto& component : components_) {
+      // Physics: the state active at tick time governs the whole interval
+      // (transitions land on scheduled events, which fire on tick
+      // boundaries' clock anyway), so battery drain is identical to the
+      // old flat-load model whenever a component's powered states share
+      // one draw.
+      const std::size_t active = component.active_at(now);
+      const util::Watts draw = component.draw_at(active, temp);
+      consumed_[component.name()] += util::energy(draw, dt_seconds);
+      // Attribution: split the interval across the plan overlay so
+      // sub-tick spans (GPRS registration vs tx) land in the right
+      // per-state ledger. Each quantum also feeds the battery-side meter,
+      // keeping the conservation invariant exact by construction.
+      component.attribute(
+          now - dt, now,
+          [&](std::size_t state, sim::SimTime from, sim::SimTime to) {
+            const sim::Duration span = to - from;
+            const energy::MicroJoules uj = energy::quantum(
+                component.draw_at(state, temp), span.to_seconds());
+            component.charge(state, uj, span.millis());
+            delivered_uj_ += uj;
+          });
+      component.prune_plan(now);
     }
 
     battery_.step(last_charge_current_, total_load_current(), dt_hours, temp);
@@ -236,7 +363,9 @@ class PowerSystem {
     if (battery_.empty() && !browned_out_) {
       browned_out_ = true;
       ++brown_out_count_;
-      for (auto& load : loads_) load.on = false;  // hardware brown-out
+      // Hardware brown-out: every component collapses to its off state
+      // and any attribution plan is void.
+      for (auto& component : components_) component.set_activity(0);
       if (hooks_.metrics != nullptr) {
         hooks_.metrics->counter("power", "brown_outs").increment();
       }
@@ -261,11 +390,13 @@ class PowerSystem {
   }
 
  private:
-  struct Load {
-    std::string name;
-    util::Watts draw{0.0};
-    bool on = false;
-  };
+  void journal_dropped(const energy::ComponentModel& component,
+                       std::size_t requested) {
+    if (hooks_.journal == nullptr) return;
+    hooks_.journal->record(simulation_.now().millis_since_epoch(),
+                           obs::EventType::kActivityDropped, component.name(),
+                           double(requested), double(component.activity()));
+  }
 
   void schedule_tick() {
     tick_event_ = simulation_.schedule_in(config_.tick, [this] { fire_tick(); });
@@ -281,9 +412,13 @@ class PowerSystem {
   PowerSystemConfig config_;
   LeadAcidBattery battery_;
   std::vector<std::unique_ptr<Charger>> chargers_;
-  std::vector<Load> loads_;
+  std::vector<energy::ComponentModel> components_;
   std::map<std::string, util::Joules> consumed_;
   std::map<std::string, util::Joules> harvested_;
+  std::map<std::string, energy::MicroJoules> harvested_uj_;
+  energy::MicroJoules delivered_uj_ = 0;
+  energy::MicroJoules absorbed_uj_ = 0;
+  util::Celsius last_temp_{25.0};
   util::Amps last_charge_current_{0.0};
   obs::Hooks hooks_;
   fault::FaultOracle* oracle_ = nullptr;

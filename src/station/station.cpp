@@ -150,8 +150,22 @@ void Station::on_wake() {
                   "2h limit hit during step " + sequence_->current_step());
     if (sequence_) sequence_->abort();
   });
+  apply_frequency_plan();
   build_sequence();
   sequence_->run([this](bool aborted) { finish_run(aborted); });
+}
+
+// DVFS (docs/ENERGY.md): pick the operating point the day's window runs at
+// from the power state the station woke up in. -1 (the default) means the
+// top point — deployed behaviour, draw and timings bitwise unchanged.
+void Station::apply_frequency_plan() {
+  const auto& plan = board_.gumstix().frequency_plan();
+  const int configured =
+      config_.gumstix_freq_by_state[std::size_t(core::to_int(state_))];
+  const std::size_t index =
+      configured < 0 ? plan.size() - 1
+                     : std::min(std::size_t(configured), plan.size() - 1);
+  board_.gumstix().set_frequency_index(index);
 }
 
 void Station::build_sequence() {
@@ -182,9 +196,13 @@ void Station::build_sequence() {
     sequence_->add_step("get_probe_data", [this] { return probe_chunk(); });
   }
 
-  sequence_->add_fixed("read_msp", sim::seconds(8),
+  // CPU-bound steps stretch with the selected DVFS point (identity at the
+  // top point): slower silicon spends longer — but fewer joules — on the
+  // same work.
+  sequence_->add_fixed("read_msp", board_.gumstix().scaled(sim::seconds(8)),
                        [this] { read_msp_and_sensors(); });
-  sequence_->add_fixed("calc_power_state", sim::seconds(1),
+  sequence_->add_fixed("calc_power_state",
+                       board_.gumstix().scaled(sim::seconds(1)),
                        [this] { compute_local_state(); });
 
   if (config_.execute_special_before_upload) {
@@ -198,7 +216,7 @@ void Station::build_sequence() {
                       gated([this] { return gps_fetch_chunk(); }));
   sequence_->add_step("package_data", gated(one_shot([this] {
                         package_data();
-                        return sim::seconds(12);
+                        return board_.gumstix().scaled(sim::seconds(12));
                       })));
   sequence_->add_step("upload_power_state", gated(one_shot([this] {
                         return upload_power_state();

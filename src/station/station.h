@@ -25,6 +25,7 @@
 // restores clock, schedule, and state 0 when charge returns.
 #pragma once
 
+#include <array>
 #include <memory>
 #include <optional>
 #include <string>
@@ -117,6 +118,13 @@ struct StationConfig {
   // (deployed behaviour).
   int degrade_after_failed_days = 0;
   sim::Duration degraded_upload_budget = sim::minutes(8);
+  // DVFS frequency plan by power state (docs/ENERGY.md): for each of the
+  // four Table 2 states, the operating-point index (into
+  // gumstix.frequency_plan) the Gumstix runs the daily window at. -1 = the
+  // top (full-speed) point, which reproduces the deployed behaviour
+  // exactly. Applied at wake from the state the station woke up in; the
+  // fixed compute steps of the window stretch by Gumstix::cpu_scale().
+  std::array<int, 4> gumstix_freq_by_state{-1, -1, -1, -1};
 };
 
 struct StationStats {
@@ -255,6 +263,7 @@ class Station {
  private:
   // --- daily run (Fig 4) -------------------------------------------------
   void on_wake();
+  void apply_frequency_plan();
   void build_sequence();
   void finish_run(bool aborted);
   void shutdown_peripherals();

@@ -83,5 +83,78 @@ TEST(Gumstix, UptimeIncludesCurrentSession) {
   EXPECT_NEAR(gumstix.uptime().to_minutes(), 30.0, 1e-9);
 }
 
+// --- DVFS (docs/ENERGY.md) -------------------------------------------------
+
+TEST(GumstixDvfs, TopPointIsDefaultAndDrawsTableOneBitwise) {
+  Fixture f;
+  Gumstix gumstix{f.simulation, f.power};
+  EXPECT_EQ(gumstix.selected_point(), gumstix.frequency_plan().size() - 1);
+  EXPECT_EQ(gumstix.cpu_scale(), 1.0);
+  f.simulation.run_until(gumstix.power_on());
+  ASSERT_TRUE(gumstix.running());
+  // Top point: exactly the Table 1 draw, not an approximation of it.
+  EXPECT_EQ(f.power.total_load_power().value(), 0.9);
+}
+
+TEST(GumstixDvfs, DrawFollowsFrequencyTimesVoltageSquared) {
+  Fixture f;
+  Gumstix gumstix{f.simulation, f.power};
+  const auto& plan = gumstix.frequency_plan();
+  const auto& top = plan.back();
+  f.simulation.run_until(gumstix.power_on());
+  for (std::size_t p = 0; p < plan.size(); ++p) {
+    gumstix.set_frequency_index(p);
+    const double volt_ratio = plan[p].core_volts.value() / top.core_volts.value();
+    const double expected =
+        0.9 * (plan[p].mhz / top.mhz) * volt_ratio * volt_ratio;
+    EXPECT_DOUBLE_EQ(f.power.total_load_power().value(), expected);
+  }
+  // The 200 MHz / 1.0 V point: 0.9 * 0.5 * (1/1.3)^2 ~= 266 mW.
+  gumstix.set_frequency_index(0);
+  EXPECT_NEAR(f.power.total_load_power().value(), 0.2663, 5e-4);
+}
+
+TEST(GumstixDvfs, CpuScaleStretchesComputeDurations) {
+  Fixture f;
+  Gumstix gumstix{f.simulation, f.power};
+  // Top point: durations come back bitwise untouched.
+  EXPECT_EQ(gumstix.scaled(sim::seconds(8)), sim::seconds(8));
+  gumstix.set_frequency_index(0);  // 200 of 400 MHz
+  EXPECT_DOUBLE_EQ(gumstix.cpu_scale(), 2.0);
+  EXPECT_EQ(gumstix.scaled(sim::seconds(8)), sim::seconds(16));
+  gumstix.set_frequency_index(1);  // 300 of 400 MHz
+  EXPECT_EQ(gumstix.scaled(sim::seconds(9)).millis(), 12000);
+}
+
+TEST(GumstixDvfs, SelectionWhileOffLatchesForNextRun) {
+  Fixture f;
+  Gumstix gumstix{f.simulation, f.power};
+  gumstix.set_frequency_index(0);
+  EXPECT_DOUBLE_EQ(f.power.total_load_power().value(), 0.0);  // still off
+  const sim::SimTime booted = gumstix.power_on();
+  // Boot burns full power regardless of the selected point.
+  EXPECT_DOUBLE_EQ(f.power.total_load_power().value(), 0.9);
+  f.simulation.run_until(booted);
+  ASSERT_TRUE(gumstix.running());
+  // The latched slow point takes effect on entering the run state.
+  EXPECT_LT(f.power.total_load_power().value(), 0.3);
+  gumstix.power_off();
+  EXPECT_DOUBLE_EQ(f.power.total_load_power().value(), 0.0);
+}
+
+TEST(GumstixDvfs, SwitchingWhileRunningIsAnActivityTransition) {
+  Fixture f;
+  Gumstix gumstix{f.simulation, f.power};
+  f.simulation.run_until(gumstix.power_on());
+  const energy::ComponentModel* component = f.power.find_component("gumstix");
+  ASSERT_NE(component, nullptr);
+  EXPECT_EQ(component->state(component->activity()).name, "run@400MHz");
+  gumstix.set_frequency_index(1);
+  EXPECT_EQ(component->state(component->activity()).name, "run@300MHz");
+  EXPECT_THROW(gumstix.set_frequency_index(7), std::out_of_range);
+  // The failed selection changed nothing.
+  EXPECT_EQ(gumstix.selected_point(), 1u);
+}
+
 }  // namespace
 }  // namespace gw::hw

@@ -151,6 +151,104 @@ TEST(Battery, SocClamped) {
   EXPECT_GE(battery.soc(), 0.0);
 }
 
+// --- edge cases around the energy-accounting refactor (docs/ENERGY.md) ----
+
+// Coulomb conservation: away from the clamps and the taper, every step
+// moves SoC by exactly (accepted*eff - load)*h / cap - self_discharge*h/24.
+// Harvest minus consumption equals the SoC delta times effective capacity,
+// give or take self-discharge — the battery neither mints nor burns charge.
+TEST(Battery, StepConservesCharge) {
+  BatteryConfig config;
+  config.initial_soc = 0.5;
+  config.self_discharge_per_day = 0.02;
+  LeadAcidBattery battery{config};
+  const Celsius temp{10.0};
+  const double cap = battery.effective_capacity(temp).value();
+
+  const struct {
+    double charge_a;
+    double load_a;
+    double hours;
+  } steps[] = {
+      {0.0, 0.5, 2.0}, {2.0, 0.3, 1.0}, {1.2, 1.2, 3.0},
+      {0.0, 0.0, 6.0}, {2.5, 0.1, 0.5},
+  };
+  double predicted = config.initial_soc;
+  double harvested_ah = 0.0;
+  double consumed_ah = 0.0;
+  double hours = 0.0;
+  for (const auto& s : steps) {
+    const double accepted =
+        battery.accepted_charge_current(Amps{s.charge_a}).value();
+    harvested_ah += accepted * config.coulombic_efficiency * s.hours;
+    consumed_ah += s.load_a * s.hours;
+    hours += s.hours;
+    predicted += (accepted * config.coulombic_efficiency - s.load_a) *
+                 s.hours / cap;
+    predicted -= config.self_discharge_per_day * s.hours / 24.0;
+    battery.step(Amps{s.charge_a}, Amps{s.load_a}, s.hours, temp);
+    EXPECT_NEAR(battery.soc(), predicted, 1e-12);
+  }
+  // The same identity, stated as the ledger sees it.
+  const double delta_soc = battery.soc() - config.initial_soc;
+  const double self_discharge_soc =
+      config.self_discharge_per_day * hours / 24.0;
+  EXPECT_NEAR(harvested_ah - consumed_ah,
+              (delta_soc + self_discharge_soc) * cap, 1e-9);
+}
+
+// Table 2's 11.5 V state-0 threshold is crossed *at rest* strictly below
+// the knee: on the plateau the OCV never reads that low, on the collapse
+// it does — and the crossing point is where the collapse line says.
+TEST(Battery, KneeVoltageCrossingAtRest) {
+  auto battery = make_battery(0.15);
+  // Plateau side: everywhere at/above the knee stays above 11.5 V.
+  for (double soc = 0.15; soc <= 1.0; soc += 0.05) {
+    battery.set_soc(soc);
+    EXPECT_GT(battery.terminal_voltage(Amps{0.0}).value(), 11.5);
+  }
+  // Collapse line 10.5 + 1.4 * soc / 0.15 reads 11.5 at soc ~= 0.1071.
+  const double crossing = 0.15 * (11.5 - 10.5) / (11.9 - 10.5);
+  battery.set_soc(crossing + 1e-3);
+  EXPECT_GT(battery.terminal_voltage(Amps{0.0}).value(), 11.5);
+  battery.set_soc(crossing - 1e-3);
+  EXPECT_LT(battery.terminal_voltage(Amps{0.0}).value(), 11.5);
+  EXPECT_LT(crossing, battery.config().knee_soc);
+}
+
+// The cold derating clamps at the deep-cold floor instead of marching to
+// zero: a -60 C glacier night still leaves min_capacity_fraction of the
+// bank, and mild warmth never credits more than 105%.
+TEST(Battery, ColdDeratedCapacityClampsAtFloor) {
+  auto battery = make_battery();
+  const double nominal = battery.nominal_capacity().value();
+  // 1 + 0.008 * (-60 - 25) = 0.32, below the 0.55 floor -> clamped.
+  EXPECT_NEAR(battery.effective_capacity(Celsius{-60.0}).value(),
+              nominal * 0.55, 1e-9);
+  EXPECT_NEAR(battery.effective_capacity(Celsius{-150.0}).value(),
+              nominal * 0.55, 1e-9);
+  // Warm ceiling.
+  EXPECT_NEAR(battery.effective_capacity(Celsius{60.0}).value(),
+              nominal * 1.05, 1e-9);
+}
+
+// Acceptance is linear in the remaining headroom above the taper start and
+// reaches exactly zero at full — charging a full bank is a no-op, not an
+// overflow.
+TEST(Battery, AcceptanceTaperIsLinearAndZeroAtFull) {
+  auto battery = make_battery(0.95);
+  // Halfway between taper start (0.90) and full: half the offer.
+  EXPECT_NEAR(battery.accepted_charge_current(Amps{2.0}).value(), 1.0, 1e-12);
+  battery.set_soc(1.0);
+  EXPECT_EQ(battery.accepted_charge_current(Amps{2.0}).value(), 0.0);
+  const bool emptied = battery.step(Amps{5.0}, Amps{0.0}, 10.0, Celsius{25.0});
+  EXPECT_FALSE(emptied);
+  // Only self-discharge moved it.
+  EXPECT_NEAR(battery.soc(),
+              1.0 - battery.config().self_discharge_per_day * 10.0 / 24.0,
+              1e-12);
+}
+
 TEST(Battery, SelfDischargeAlone) {
   BatteryConfig config;
   config.initial_soc = 0.5;

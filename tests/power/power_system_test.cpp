@@ -119,6 +119,113 @@ TEST(PowerSystem, StartSchedulesPeriodicTicks) {
   EXPECT_NEAR(power.consumed_by("dgps").value(), 25920.0, 300.0);
 }
 
+// --- activity-state components (docs/ENERGY.md) ---------------------------
+
+energy::ComponentSpec modem_spec() {
+  energy::ComponentSpec spec;
+  spec.name = "modem";
+  spec.states.push_back({"off", util::Watts{0.0}, 0.0});
+  spec.states.push_back({"idle", util::Watts{0.5}, 0.0});
+  spec.states.push_back({"tx", util::Watts{2.5}, 0.0});
+  return spec;
+}
+
+TEST(PowerSystem, ActivityStatesChangeDraw) {
+  Fixture f;
+  PowerSystem power{f.simulation, f.environment, f.config};
+  const auto modem = power.add_component(modem_spec());
+  EXPECT_FALSE(power.load_on(modem));
+  power.set_activity(modem, 2);
+  EXPECT_TRUE(power.load_on(modem));
+  EXPECT_DOUBLE_EQ(power.total_load_power().value(), 2.5);
+  power.set_activity(modem, 1);
+  EXPECT_DOUBLE_EQ(power.total_load_power().value(), 0.5);
+}
+
+TEST(PowerSystem, PerStateLedgersSumToDeliveredMeter) {
+  Fixture f;
+  PowerSystem power{f.simulation, f.environment, f.config};
+  const auto modem = power.add_component(modem_spec());
+  const auto gps = power.add_load("dgps", 3600_mW);
+  power.set_activity(modem, 1);
+  power.set_load(gps, true);
+  for (int i = 0; i < 90; ++i) {
+    if (i == 30) power.set_activity(modem, 2);
+    if (i == 60) power.set_load(gps, false);
+    power.tick(sim::minutes(1));
+  }
+  // The conservation identity is exact, not approximate: integer quanta
+  // land in a component ledger and the battery meter in the same step.
+  EXPECT_EQ(power.component_microjoules(), power.delivered_microjoules());
+  // Spot-check one ledger: 30 min of idle at 0.5 W = 900 J.
+  const energy::ComponentModel* component = power.find_component("modem");
+  ASSERT_NE(component, nullptr);
+  EXPECT_EQ(component->energy_uj(1), 900000000);
+  EXPECT_EQ(component->active_ms(1), 30 * 60 * 1000);
+  // The legacy double ledger sees the same totals.
+  EXPECT_NEAR(power.total_consumed().value(),
+              double(power.delivered_microjoules()) / 1e6, 1e-6);
+}
+
+TEST(PowerSystem, PlanAttributesSubTickSpans) {
+  Fixture f;
+  PowerSystem power{f.simulation, f.environment, f.config};
+  const auto modem = power.add_component(modem_spec());
+  power.set_activity(modem, 1);
+  // A 90-second session: 30 s registering-equivalent idle, 60 s tx — laid
+  // down as a plan, then integrated by one 2-minute tick. SimTime must
+  // advance past the plan for the attribution window to cover it.
+  power.plan_activity(modem, {{2, sim::seconds(90)}});
+  f.simulation.schedule_in(sim::minutes(2), [] {});
+  f.simulation.run_until(f.simulation.now() + sim::minutes(2));
+  power.tick(sim::minutes(2));
+  const energy::ComponentModel* component = power.find_component("modem");
+  ASSERT_NE(component, nullptr);
+  // 90 s at 2.5 W = 225 J tx; remaining 30 s at 0.5 W = 15 J idle.
+  EXPECT_EQ(component->energy_uj(2), 225000000);
+  EXPECT_EQ(component->energy_uj(1), 15000000);
+  EXPECT_EQ(power.component_microjoules(), power.delivered_microjoules());
+  // The plan expired inside the tick: back to the base activity.
+  EXPECT_FALSE(component->has_plan());
+}
+
+TEST(PowerSystem, BrownOutRefusesAndJournalsTransitions) {
+  Fixture f;
+  f.config.battery.initial_soc = 0.02;
+  f.config.battery.self_discharge_per_day = 0.0;
+  PowerSystem power{f.simulation, f.environment, f.config};
+  obs::MetricsRegistry metrics;
+  obs::EventJournal journal;
+  power.set_hooks({&metrics, &journal});
+  const auto modem = power.add_component(modem_spec());
+  power.set_activity(modem, 2);
+  for (int i = 0; i < 72; ++i) power.tick(sim::minutes(30));
+  ASSERT_TRUE(power.browned_out());
+  EXPECT_EQ(power.component(modem).activity(), 0u);
+
+  // A transition attempted mid-brown-out is refused and journalled — it
+  // must not stick to the post-recovery component.
+  power.set_activity(modem, 2);
+  EXPECT_EQ(power.component(modem).activity(), 0u);
+  auto dropped = journal.of_type(obs::EventType::kActivityDropped);
+  ASSERT_EQ(dropped.size(), 1u);
+  EXPECT_EQ(dropped[0].component, "modem");
+  EXPECT_EQ(dropped[0].a, 2.0);  // requested
+  EXPECT_EQ(dropped[0].b, 0.0);  // stayed off
+
+  // Planned attribution is refused the same way...
+  power.plan_activity(modem, {{1, sim::seconds(30)}});
+  EXPECT_FALSE(power.component(modem).has_plan());
+  // ...and so is a draw mutation (the set_load_power shim).
+  power.set_load_power(modem, util::Watts{9.9});
+  EXPECT_EQ(power.component(modem).state(1).draw.value(), 0.5);
+  EXPECT_EQ(journal.count(obs::EventType::kActivityDropped), 3u);
+
+  // Dropping to off is always allowed (it is what the brown-out did).
+  power.set_activity(modem, 0);
+  EXPECT_EQ(journal.count(obs::EventType::kActivityDropped), 3u);
+}
+
 TEST(PowerSystem, SolarDayChargesBatterySeptember) {
   Fixture f;
   f.config.battery.initial_soc = 0.5;

@@ -70,13 +70,13 @@ constexpr GoldenSection kGolden[] = {
     {"fault", 0x4ba2a70cu},
     {"server", 0xdf43bb1bu},
     {"fleet", 0x57681deeu},
-    {"station/base", 0x7fcbb1ecu},
+    {"station/base", 0x4d0ee8e7u},
     {"probe/base/20", 0xe9c3468bu},
     {"probe/base/21", 0xc8a23578u},
     {"probe/base/22", 0x795de2afu},
-    {"station/reference", 0x09bf0343u},
+    {"station/reference", 0xb604027du},
 };
-constexpr std::uint32_t kGoldenFingerprint = 0xbf7ae600u;
+constexpr std::uint32_t kGoldenFingerprint = 0xd17b7787u;
 
 TEST(GoldenStateTest, TwentyDayFaultedSeasonFingerprint) {
   Fleet fleet{golden_config()};
