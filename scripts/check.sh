@@ -257,13 +257,30 @@ fi
 
 # --- 10. gwlint ------------------------------------------------------------
 if [ -x build/tools/gwlint ]; then
-  echo "== gwlint (determinism + layering + hygiene rules)"
+  echo "== gwlint (determinism + layering + hygiene + semantic passes)"
+  # Baselined run: fails on fresh findings AND on stale baseline entries,
+  # so tools/gwlint/baseline.txt can only ever shrink.
   if ./build/tools/gwlint --root . --config tools/gwlint/layers.toml \
+       --baseline tools/gwlint/baseline.txt \
        src bench tests examples tools; then
     echo "ok: gwlint clean"
   else
     echo "FAIL: gwlint (see diagnostics above; docs/STATIC_ANALYSIS.md" \
-         "for the rule catalog and suppression policy)"
+         "for the rule catalog, baseline workflow and suppression policy)"
+    failures=$((failures + 1))
+  fi
+  # Determinism gate: two JSON runs must be byte-identical — the analyzer
+  # is held to the same contract as the exports it polices.
+  ./build/tools/gwlint --root . --config tools/gwlint/layers.toml \
+    --baseline tools/gwlint/baseline.txt --format=json \
+    src bench tests examples tools > build/gwlint_run_a.json || true
+  ./build/tools/gwlint --root . --config tools/gwlint/layers.toml \
+    --baseline tools/gwlint/baseline.txt --format=json \
+    src bench tests examples tools > build/gwlint_run_b.json || true
+  if cmp -s build/gwlint_run_a.json build/gwlint_run_b.json; then
+    echo "ok: gwlint JSON byte-identical across runs"
+  else
+    echo "FAIL: gwlint JSON output differs between two identical runs"
     failures=$((failures + 1))
   fi
 else

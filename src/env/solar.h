@@ -67,9 +67,10 @@ class SolarModel {
 
   SolarConfig config_;
   util::Rng rng_;
-  double sin_lat_ = 0.0;
-  double cos_lat_ = 0.0;
-  double lat_rad_ = 0.0;
+  // Derived from config_.latitude at construction; pure caches.
+  double sin_lat_ = 0.0;  // gwlint: allow(persist-coverage): derived cache
+  double cos_lat_ = 0.0;  // gwlint: allow(persist-coverage): derived cache
+  double lat_rad_ = 0.0;  // gwlint: allow(persist-coverage): derived cache
   mutable int cached_doy_ = -1;
   mutable DayGeometry cached_;
   // AR(1) cloud state, refreshed once per simulated day.

@@ -167,7 +167,10 @@ class FaultOracle {
   }
 
  private:
-  FaultPlan plan_;
+  // The scripted season and its anchor are configuration the restored
+  // world is rebuilt with (see the persist() comment above).
+  FaultPlan plan_;  // gwlint: allow(persist-coverage): rebuilt configuration
+  // gwlint: allow(persist-coverage): rebuilt configuration
   sim::SimTime origin_{};
   obs::Hooks hooks_;
   std::array<int, kFaultKindCount> trips_{};

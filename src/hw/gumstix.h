@@ -182,6 +182,8 @@ class Gumstix {
   power::PowerSystem& power_;
   GumstixConfig config_;
   std::size_t selected_;
+  // gwlint: allow(persist-coverage): registry handle re-acquired when the
+  // identically-configured power system is rebuilt before restore
   power::LoadHandle load_;
   State state_ = State::kOff;
   sim::SimTime powered_since_{};

@@ -116,6 +116,8 @@ class EventJournal {
   }
 
  private:
+  // gwlint: allow(persist-coverage): wiring decision, not world state —
+  // restore targets a journal constructed with the same capacity
   std::size_t capacity_;
   std::deque<Event> events_;
   std::uint64_t total_recorded_ = 0;

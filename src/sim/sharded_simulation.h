@@ -108,6 +108,7 @@ class ShardedSimulation {
   // Kernel-exact event on shard `target` at exactly `deliver_at`.
   // Coordinator context (between runs or inside the barrier hook);
   // requires deliver_at > now().
+  // gw::context(coordinator)
   void post(std::size_t target, SimTime deliver_at, std::string key,
             std::function<void()> fn);
 
@@ -115,17 +116,20 @@ class ShardedSimulation {
   // requires deliver_at >= shard(origin).now() + lookahead — the
   // conservative contract that makes in-flight messages always land in a
   // window that has not started. Violations throw std::invalid_argument.
+  // gw::context(worker)
   void post_from(std::size_t origin, std::size_t target, SimTime deliver_at,
                  std::string key, std::function<void()> fn);
 
   // Coordinator message: fn(barrier_time) runs single-threaded at the
   // first barrier at or after `deliver_at`. Coordinator context; requires
   // deliver_at > now().
+  // gw::context(coordinator)
   void post_apply(SimTime deliver_at, std::string key,
                   std::function<void(SimTime)> fn);
 
   // Worker-context variant of post_apply, posted by the worker currently
   // advancing shard `origin`; same lookahead contract as post_from.
+  // gw::context(worker)
   void post_apply_from(std::size_t origin, SimTime deliver_at,
                        std::string key, std::function<void(SimTime)> fn);
 
@@ -135,6 +139,7 @@ class ShardedSimulation {
   // any deadline pattern: a deadline mid-window truncates that window (the
   // next call resumes with a fresh full window), which changes barrier
   // times but never message delivery times.
+  // gw::context(coordinator)
   void run_until(SimTime deadline);
   void run_for(Duration d) { run_until(now_ + d); }
 

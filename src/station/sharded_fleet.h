@@ -137,13 +137,18 @@ class ShardedFleet {
 
   // Each returns what the station's replica said: false when its bounded
   // per-station queue refused the item (SouthamptonServer backpressure).
+  // gw::context(coordinator)
   bool queue_special(const std::string& station_name,
                      core::SpecialCommand command);
+  // gw::context(coordinator)
   bool queue_update(const std::string& station_name,
                     core::UpdatePackage package);
+  // gw::context(coordinator)
   bool queue_config_update(const std::string& station_name,
                            core::ConfigUpdate update);
+  // gw::context(coordinator)
   void set_manual_override(std::optional<core::PowerState> override_state);
+  // gw::context(coordinator)
   void set_group_override(const std::string& group,
                           std::optional<core::PowerState> override_state);
 
@@ -157,7 +162,9 @@ class ShardedFleet {
 
   // --- fleet rollup (same gauges as Fleet::update_rollup) -----------------
 
+  // gw::context(coordinator)
   [[nodiscard]] std::vector<Fleet::GroupStatus> group_status() const;
+  // gw::context(coordinator)
   obs::MetricsRegistry& update_rollup();
   [[nodiscard]] obs::MetricsRegistry& rollup_metrics() { return rollup_; }
   [[nodiscard]] obs::EventJournal& rollup_journal() {
@@ -197,7 +204,11 @@ class ShardedFleet {
   };
 
   // Barrier hook: drains every replica's outbound ledgers into messages.
+  // gw::context(coordinator)
   void drain(sim::SimTime barrier);
+  // Runs on the worker advancing the station's shard (scheduled as a
+  // kernel-exact repeating event); touches only that shard's World.
+  // gw::context(worker)
   void sample_trace(std::size_t index);
   [[nodiscard]] std::size_t index_of(const std::string& station_name) const;
 

@@ -328,6 +328,8 @@ class Station {
   hw::SerialLink serial_;
   hw::GumsenseBus bus_;
   proto::TransferManager uploads_;
+  // gwlint: allow(persist-coverage): stateless decision table over its
+  // construction config; every input it reads is persisted elsewhere
   core::PowerPolicy policy_;
   core::Watchdog watchdog_;
   core::RecoveryManager recovery_;

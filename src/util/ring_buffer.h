@@ -78,10 +78,13 @@ class RingBuffer {
   }
 
  private:
-  std::vector<T> storage_;
+  // persist() replays the contents through push(), so everything but
+  // size_ is reconstructed rather than named (see the comment above it).
+  std::vector<T> storage_;  // gwlint: allow(persist-coverage): replay-rebuilt
+  // gwlint: allow(persist-coverage): construction constant, never mutated
   std::size_t capacity_;
-  std::size_t head_ = 0;
-  std::size_t tail_ = 0;
+  std::size_t head_ = 0;  // gwlint: allow(persist-coverage): replay-rebuilt
+  std::size_t tail_ = 0;  // gwlint: allow(persist-coverage): replay-rebuilt
   std::size_t size_ = 0;
 };
 

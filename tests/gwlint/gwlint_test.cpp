@@ -307,6 +307,233 @@ TEST(GwlintRealConfig, RepoLayersTomlParsesAndMatchesArchitecture) {
   EXPECT_TRUE(config.layer_closure.at("util").empty());
 }
 
+// --- GW006: persist coverage (semantic pass) ------------------------------
+
+std::vector<SourceFile> fixture_files(
+    const std::vector<std::pair<std::string, std::string>>& pairs) {
+  std::vector<SourceFile> files;
+  for (const auto& [fixture, path] : pairs) {
+    files.push_back({path, read_fixture(fixture)});
+  }
+  return files;
+}
+
+TEST(GwlintPersist, MissingMemberTripsAllowedTransientDoesNot) {
+  const auto diagnostics = lint_repo(
+      fixture_files({{"persist_missing.inc", "src/obs/persist_missing.h"}}),
+      "docs/OBSERVABILITY.md", "", test_config());
+  ASSERT_EQ(diagnostics.size(), 1u);
+  EXPECT_EQ(diagnostics[0].id, "GW006");
+  EXPECT_EQ(diagnostics[0].rule, "persist-coverage");
+  EXPECT_EQ(diagnostics[0].line, 18);
+  EXPECT_NE(diagnostics[0].message.find("TelemetryBank::high_water_"),
+            std::string::npos);
+}
+
+TEST(GwlintPersist, OutOfLineBodyInAnotherFileIsFound) {
+  const auto diagnostics = lint_repo(
+      fixture_files(
+          {{"persist_split_decl.inc", "src/station/persist_split.h"},
+           {"persist_split_def.inc", "src/station/persist_split.cpp"}}),
+      "docs/OBSERVABILITY.md", "", test_config());
+  ASSERT_EQ(diagnostics.size(), 1u);
+  EXPECT_EQ(diagnostics[0].id, "GW006");
+  EXPECT_EQ(diagnostics[0].file, "src/station/persist_split.h");
+  EXPECT_EQ(diagnostics[0].line, 14);
+  EXPECT_NE(diagnostics[0].message.find("SplitPersist::forgotten_"),
+            std::string::npos);
+}
+
+// --- GW007: observability registry ----------------------------------------
+
+TEST(GwlintObsRegistry, CodeAndDocDriftBothDirections) {
+  const auto diagnostics = lint_repo(
+      fixture_files({{"obsreg_code.inc", "src/obs/obsreg_code.h"}}),
+      "docs/obsreg_doc.md", read_fixture("obsreg_doc.md"), test_config());
+  ASSERT_EQ(diagnostics.size(), 5u);
+  for (const auto& d : diagnostics) EXPECT_EQ(d.id, "GW007");
+  // Sorted order puts the stale doc row first (docs/ < src/).
+  EXPECT_EQ(diagnostics[0].file, "docs/obsreg_doc.md");
+  EXPECT_EQ(diagnostics[0].line, 7);
+  EXPECT_NE(diagnostics[0].message.find("uplink.ghost_metric"),
+            std::string::npos);
+  EXPECT_EQ(diagnostics[1].line, 12);  // queue_depth undocumented
+  EXPECT_NE(diagnostics[1].message.find("has no row"), std::string::npos);
+  EXPECT_EQ(diagnostics[2].line, 13);  // BadFrames case
+  EXPECT_NE(diagnostics[2].message.find("snake.case.dotted"),
+            std::string::npos);
+  // Line 14 carries both the doc-kind and the code-kind clash.
+  EXPECT_EQ(diagnostics[3].line, 14);
+  EXPECT_NE(diagnostics[3].message.find("documents it as a counter"),
+            std::string::npos);
+  EXPECT_EQ(diagnostics[4].line, 14);
+  EXPECT_NE(diagnostics[4].message.find("one name, one instrument"),
+            std::string::npos);
+}
+
+TEST(GwlintObsRegistry, EmptyDocSkipsTheRule) {
+  const auto diagnostics = lint_repo(
+      fixture_files({{"obsreg_code.inc", "src/obs/obsreg_code.h"}}),
+      "docs/OBSERVABILITY.md", "", test_config());
+  EXPECT_TRUE(diagnostics.empty());
+}
+
+// --- GW008: thread context ------------------------------------------------
+
+TEST(GwlintThreadContext, WorkerReachesCoordinatorThroughHelper) {
+  const auto diagnostics = lint_repo(
+      fixture_files(
+          {{"context_worker_escape.inc", "src/sim/context_worker_escape.h"}}),
+      "docs/OBSERVABILITY.md", "", test_config());
+  ASSERT_EQ(diagnostics.size(), 2u);
+  EXPECT_EQ(diagnostics[0].id, "GW008");
+  EXPECT_EQ(diagnostics[0].line, 19);
+  EXPECT_NE(diagnostics[0].message.find(
+                "'MiniKernel::helper' runs in worker context but calls "
+                "coordinator-only 'apply_state()'"),
+            std::string::npos);
+  EXPECT_EQ(diagnostics[1].line, 20);
+  EXPECT_NE(diagnostics[1].message.find("'post_apply()'"),
+            std::string::npos);
+}
+
+TEST(GwlintThreadContext, AnnotationHygiene) {
+  const auto diagnostics = lint_repo(
+      fixture_files({{"context_hygiene.inc", "src/sim/context_hygiene.h"}}),
+      "docs/OBSERVABILITY.md", "", test_config());
+  ASSERT_EQ(diagnostics.size(), 3u);
+  for (const auto& d : diagnostics) EXPECT_EQ(d.id, "GW008");
+  EXPECT_EQ(diagnostics[0].line, 7);
+  EXPECT_NE(diagnostics[0].message.find("unknown gw::context value"),
+            std::string::npos);
+  EXPECT_EQ(diagnostics[1].line, 10);
+  EXPECT_NE(diagnostics[1].message.find("not attached"), std::string::npos);
+  EXPECT_EQ(diagnostics[2].line, 17);
+  EXPECT_NE(diagnostics[2].message.find("conflicting"), std::string::npos);
+}
+
+// --- per-rule config allowlists across rule families ----------------------
+
+TEST(GwlintAllowScope, BannedApiAllowlistDoesNotSilenceSemanticRules) {
+  const Config config = parse_config(
+      "[layers]\nutil = []\n\n"
+      "[allow.banned-api]\nfiles = [\"src/util/allow_scope_mix.h\"]\n");
+  ASSERT_TRUE(config.error.empty()) << config.error;
+  const auto files =
+      fixture_files({{"allow_scope_mix.inc", "src/util/allow_scope_mix.h"}});
+  const auto diagnostics = lint_repo(files, "docs/OBSERVABILITY.md",
+                                     "prose-only contract, no tables\n",
+                                     config);
+  // getenv (GW001) is allowlisted away; the semantic rules still fire.
+  ASSERT_EQ(diagnostics.size(), 2u);
+  EXPECT_EQ(diagnostics[0].id, "GW007");
+  EXPECT_EQ(diagnostics[0].line, 13);
+  EXPECT_EQ(diagnostics[1].id, "GW006");
+  EXPECT_EQ(diagnostics[1].line, 23);
+
+  // Without the allowlist the same file also trips GW001.
+  const Config plain = parse_config("[layers]\nutil = []\n");
+  const auto all = lint_repo(files, "docs/OBSERVABILITY.md",
+                             "prose-only contract, no tables\n", plain);
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].id, "GW001");
+  EXPECT_EQ(all[0].line, 9);
+}
+
+TEST(GwlintAllowScope, SemanticRuleAllowlistIsPerRuleToo) {
+  const Config config = parse_config(
+      "[layers]\nutil = []\n\n"
+      "[allow.persist-coverage]\nfiles = [\"src/util/allow_scope_mix.h\"]\n");
+  ASSERT_TRUE(config.error.empty()) << config.error;
+  const auto diagnostics = lint_repo(
+      fixture_files({{"allow_scope_mix.inc", "src/util/allow_scope_mix.h"}}),
+      "docs/OBSERVABILITY.md", "prose-only contract, no tables\n", config);
+  // GW006 allowlisted away; GW001 and GW007 remain.
+  ASSERT_EQ(diagnostics.size(), 2u);
+  EXPECT_EQ(diagnostics[0].id, "GW001");
+  EXPECT_EQ(diagnostics[1].id, "GW007");
+}
+
+// --- baseline -------------------------------------------------------------
+
+TEST(GwlintBaseline, ParsesEntriesSkipsCommentsAndBlanks) {
+  const auto entries =
+      parse_baseline("# pinned findings\n\nfoo:1: [GW001/x] a\nbar \r\n");
+  EXPECT_EQ(entries,
+            (std::vector<std::string>{"foo:1: [GW001/x] a", "bar"}));
+}
+
+TEST(GwlintBaseline, SuppressesExactMatchesAndReportsStaleEntries) {
+  auto diagnostics = lint_repo(
+      fixture_files({{"persist_missing.inc", "src/obs/persist_missing.h"}}),
+      "docs/OBSERVABILITY.md", "", test_config());
+  ASSERT_EQ(diagnostics.size(), 1u);
+  const std::string pinned = format_diagnostic(diagnostics[0]);
+  const std::string ghost =
+      "src/ghost.h:1: [GW006/persist-coverage] no longer fires";
+  const auto result = apply_baseline(std::move(diagnostics),
+                                     {pinned, ghost});
+  EXPECT_TRUE(result.fresh.empty());
+  EXPECT_EQ(result.suppressed, 1u);
+  EXPECT_EQ(result.stale, (std::vector<std::string>{ghost}));
+}
+
+// --- JSON output ----------------------------------------------------------
+
+TEST(GwlintJson, RendersExactBytes) {
+  BaselineResult result;
+  result.fresh = {{"a.h", 3, "GW001", "banned-api", "uses \"getenv\""}};
+  result.suppressed = 2;
+  result.stale = {"gone"};
+  EXPECT_EQ(format_json(result),
+            "{\n"
+            "  \"schema\": \"gwlint.v1\",\n"
+            "  \"diagnostics\": [\n"
+            "    {\"file\": \"a.h\", \"line\": 3, \"id\": \"GW001\", "
+            "\"rule\": \"banned-api\", \"message\": \"uses \\\"getenv\\\"\"}\n"
+            "  ],\n"
+            "  \"baseline_suppressed\": 2,\n"
+            "  \"stale_baseline\": [\n"
+            "    \"gone\"\n"
+            "  ]\n"
+            "}\n");
+
+  BaselineResult empty;
+  EXPECT_EQ(format_json(empty),
+            "{\n"
+            "  \"schema\": \"gwlint.v1\",\n"
+            "  \"diagnostics\": [],\n"
+            "  \"baseline_suppressed\": 0,\n"
+            "  \"stale_baseline\": []\n"
+            "}\n");
+}
+
+TEST(GwlintJson, ByteIdenticalAcrossRunsAndInputOrder) {
+  const std::vector<std::pair<std::string, std::string>> pairs = {
+      {"persist_missing.inc", "src/obs/persist_missing.h"},
+      {"persist_split_decl.inc", "src/station/persist_split.h"},
+      {"persist_split_def.inc", "src/station/persist_split.cpp"},
+      {"obsreg_code.inc", "src/obs/obsreg_code.h"},
+      {"context_worker_escape.inc", "src/sim/context_worker_escape.h"},
+      {"context_hygiene.inc", "src/sim/context_hygiene.h"},
+  };
+  auto files = fixture_files(pairs);
+  const std::string doc = read_fixture("obsreg_doc.md");
+
+  BaselineResult first;
+  first.fresh = lint_repo(files, "docs/obsreg_doc.md", doc, test_config());
+  const std::string rendered = format_json(first);
+  EXPECT_GT(first.fresh.size(), 5u);
+
+  std::mt19937 gen{99};  // test-only shuffle; gwlint itself bans this
+  for (int round = 0; round < 4; ++round) {
+    std::shuffle(files.begin(), files.end(), gen);
+    BaselineResult again;
+    again.fresh = lint_repo(files, "docs/obsreg_doc.md", doc, test_config());
+    EXPECT_EQ(format_json(again), rendered);
+  }
+}
+
 TEST(GwlintStrip, StripperHandlesRawStringsAndEscapes) {
   const std::string content =
       "auto s = R\"(getenv inside raw)\";\n"

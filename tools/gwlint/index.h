@@ -1,0 +1,122 @@
+// Declaration index for gwlint's semantic passes (GW006-GW008).
+//
+// The token-matching rules (GW001-GW005) need no model of the program; the
+// semantic rules do. This header builds a deliberately small one — not an
+// AST, just the declarations the passes consume:
+//
+//   * classes/structs with their non-static data members and whether they
+//     define or declare a persist() method         (GW006 persist-coverage)
+//   * enums and their enumerators                  (GW007 EventType <-> doc)
+//   * metric registration sites — counter()/gauge()/histogram() calls with
+//     their (component, name) string-literal arguments, classified exact /
+//     open (literal head or tail around a dynamic part) / dynamic
+//                                                  (GW007 obs-registry)
+//   * function definitions with body spans, the calls inside them, and any
+//     `gw::context(worker|coordinator)` comment annotation
+//                                                  (GW008 thread-context)
+//
+// Everything is recognised from the comment/string-stripped token stream by
+// a single forward scan with brace/paren/angle matching — no preprocessor,
+// no name lookup, no types. The parser is intentionally conservative: when
+// a construct is too exotic to classify it is skipped, which can only make
+// the passes miss a declaration (a false negative), never invent one.
+//
+// Self-contained (std only), like the rest of gwlint.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace gw::lint {
+
+// A call site inside a function body: `name(...)` with `name` not a
+// keyword. Member calls record the member name (`obj.post_apply(...)`
+// records `post_apply`).
+struct CallSite {
+  std::string name;
+  int line = 0;
+};
+
+// A function definition or declaration. Methods carry their class as
+// `qualifier`; out-of-line definitions (`void Station::persist(...)`)
+// carry the written qualifier the same way, which is how the two meet.
+struct FunctionRecord {
+  std::string qualifier;  // "" for free functions
+  std::string name;
+  int line = 0;  // line of the function name token
+  bool has_body = false;
+  std::string body;  // stripped text of the body, braces included
+  int body_line = 0;  // line the body opens on
+  std::vector<CallSite> calls;
+  std::string context;  // "", "worker" or "coordinator" (gw::context)
+};
+
+// A non-static data member. Members that persist() cannot meaningfully
+// restore are pre-exempted here: references and raw pointers (wiring,
+// re-established by construction), const members (unrestorable), and
+// mutable members (caches by definition).
+struct MemberDecl {
+  std::string name;
+  int line = 0;
+  bool exempt = false;
+};
+
+struct ClassDecl {
+  std::string name;  // simple name (nested classes are indexed flat)
+  int line = 0;
+  std::vector<MemberDecl> members;
+  bool declares_persist = false;  // a persist() method, with or without body
+  int persist_line = 0;
+};
+
+struct EnumDecl {
+  std::string name;
+  int line = 0;
+  std::vector<std::string> enumerators;
+};
+
+// How much of a metric name the scan could pin down statically.
+enum class MetricNameForm {
+  kExact,    // both arguments are string literals
+  kOpen,     // literal head and/or tail around a runtime part
+  kDynamic,  // component is a literal, name is entirely runtime
+};
+
+struct MetricSite {
+  std::string kind;       // "counter", "gauge" or "histogram"
+  std::string component;  // always a literal (else the site is skipped)
+  MetricNameForm form = MetricNameForm::kExact;
+  std::string name;  // exact: full name; open: literal head (may be empty)
+  std::string tail;  // open: literal tail (may be empty)
+  int line = 0;
+};
+
+// A `gw::context(<value>)` comment annotation, before attachment.
+struct ContextAnnotation {
+  int line = 0;
+  std::string value;
+  bool attached = false;
+  int attached_function = -1;  // index into FileIndex::functions
+};
+
+struct FileIndex {
+  std::string path;
+  std::vector<ClassDecl> classes;
+  std::vector<EnumDecl> enums;
+  std::vector<FunctionRecord> functions;  // methods and free functions
+  std::vector<MetricSite> metric_sites;
+  std::vector<ContextAnnotation> annotations;  // unattached ones survive
+};
+
+// Builds the index for one file.
+//   stripped      comments and strings blanked (token scans)
+//   code_view     comments blanked, string literals kept (metric names)
+//   comment_view  strings blanked, comments kept (gw::context annotations)
+// All three views preserve byte offsets and line structure exactly.
+FileIndex build_file_index(const std::string& path,
+                           const std::string& stripped,
+                           const std::string& code_view,
+                           const std::string& comment_view);
+
+}  // namespace gw::lint

@@ -5,6 +5,9 @@
 #include <functional>
 #include <sstream>
 
+#include "index.h"
+#include "semantic.h"
+
 namespace gw::lint {
 namespace {
 
@@ -452,11 +455,18 @@ void check_pragma_once(FileScan& scan) {
 
 // --- suppression application ----------------------------------------------
 
-bool known_rule(const std::string& name) {
+// Allow markers and config sections may name a rule either way
+// (`persist-coverage` or `GW006`); everything downstream works on the
+// canonical rule *name*. Returns "" for unknown tokens.
+std::string canonical_rule_name(const std::string& token) {
   for (const auto& rule : rule_catalog()) {
-    if (name == rule.name) return true;
+    if (token == rule.name || token == rule.id) return rule.name;
   }
-  return false;
+  return "";
+}
+
+bool known_rule(const std::string& name) {
+  return !canonical_rule_name(name).empty();
 }
 
 bool comment_or_blank(const std::string& line) {
@@ -480,8 +490,13 @@ void collect_allows(FileScan& scan) {
       if (j >= scan.lines.size()) continue;
       target = j;
     }
-    scan.effective[int(target + 1)].insert(allow.rules.begin(),
-                                           allow.rules.end());
+    for (const auto& rule : allow.rules) {
+      const std::string canonical = canonical_rule_name(rule);
+      // Unknown tokens suppress nothing (GW005 reports them).
+      if (!canonical.empty()) {
+        scan.effective[int(target + 1)].insert(canonical);
+      }
+    }
   }
 }
 
@@ -547,17 +562,29 @@ const std::vector<RuleInfo>& rule_catalog() {
       {"GW005", "bad-allow",
        "gwlint suppressions must name a known rule and carry a "
        "justification"},
+      {"GW006", "persist-coverage",
+       "every non-static data member of a type defining persist() must be "
+       "named in the persist body (refs/pointers/const/mutable exempt; "
+       "transient members need an allow marker)"},
+      {"GW007", "obs-registry",
+       "metric/journal names must be snake.case.dotted, one instrument "
+       "kind per name, and round-trip against docs/OBSERVABILITY.md"},
+      {"GW008", "thread-context",
+       "worker-context code (gw::context call-graph coloring) must not "
+       "reach coordinator-only functions or post_apply"},
   };
   return catalog;
 }
 
 namespace {
 
-// Shared lexer for both stripping modes. `strip_comments` blanks comment
-// text too; when false, comments survive (the suppression scan needs them)
-// but string/char contents are still blanked so a quoted example of the
-// allow syntax cannot register as a real suppression.
-std::string strip_impl(const std::string& content, bool strip_comments) {
+// Shared lexer for all stripping modes. `strip_comments` blanks comment
+// text (when false, comments survive — the suppression scan needs them);
+// `strip_strings` blanks string/char contents (when false, literals
+// survive — the metric-name scan reads them) — either way literal
+// boundaries are tracked so a `//` inside a string is never a comment.
+std::string strip_impl(const std::string& content, bool strip_comments,
+                       bool strip_strings) {
   std::string out = content;
   enum class State {
     kCode,
@@ -593,18 +620,20 @@ std::string strip_impl(const std::string& content, bool strip_comments) {
             ++paren;
           }
           if (paren < out.size() && out[paren] == '(') {
-            for (std::size_t j = i; j <= paren; ++j) {
-              if (out[j] != '\n') out[j] = ' ';
+            if (strip_strings) {
+              for (std::size_t j = i; j <= paren; ++j) {
+                if (out[j] != '\n') out[j] = ' ';
+              }
             }
             i = paren;
             state = State::kRawString;
           }
         } else if (c == '"') {
           state = State::kString;
-          out[i] = ' ';
+          if (strip_strings) out[i] = ' ';
         } else if (c == '\'') {
           state = State::kChar;
-          out[i] = ' ';
+          if (strip_strings) out[i] = ' ';
         }
         break;
       case State::kLineComment:
@@ -625,39 +654,41 @@ std::string strip_impl(const std::string& content, bool strip_comments) {
         break;
       case State::kString:
         if (c == '\\') {
-          out[i] = ' ';
+          if (strip_strings) out[i] = ' ';
           if (next != '\n') {
-            if (i + 1 < out.size()) out[i + 1] = ' ';
+            if (strip_strings && i + 1 < out.size()) out[i + 1] = ' ';
             ++i;
           }
         } else if (c == '"') {
-          out[i] = ' ';
+          if (strip_strings) out[i] = ' ';
           state = State::kCode;
-        } else if (c != '\n') {
+        } else if (c != '\n' && strip_strings) {
           out[i] = ' ';
         }
         break;
       case State::kChar:
         if (c == '\\') {
-          out[i] = ' ';
-          if (i + 1 < out.size()) out[i + 1] = ' ';
+          if (strip_strings) out[i] = ' ';
+          if (strip_strings && i + 1 < out.size()) out[i + 1] = ' ';
           ++i;
         } else if (c == '\'') {
-          out[i] = ' ';
+          if (strip_strings) out[i] = ' ';
           state = State::kCode;
-        } else if (c != '\n') {
+        } else if (c != '\n' && strip_strings) {
           out[i] = ' ';
         }
         break;
       case State::kRawString: {
         const std::string terminator = ")" + raw_delimiter + "\"";
         if (out.compare(i, terminator.size(), terminator) == 0) {
-          for (std::size_t j = 0; j < terminator.size(); ++j) {
-            out[i + j] = ' ';
+          if (strip_strings) {
+            for (std::size_t j = 0; j < terminator.size(); ++j) {
+              out[i + j] = ' ';
+            }
           }
           i += terminator.size() - 1;
           state = State::kCode;
-        } else if (c != '\n') {
+        } else if (c != '\n' && strip_strings) {
           out[i] = ' ';
         }
         break;
@@ -670,7 +701,7 @@ std::string strip_impl(const std::string& content, bool strip_comments) {
 }  // namespace
 
 std::string strip_comments_and_strings(const std::string& content) {
-  return strip_impl(content, /*strip_comments=*/true);
+  return strip_impl(content, /*strip_comments=*/true, /*strip_strings=*/true);
 }
 
 Config parse_config(const std::string& text) {
@@ -739,10 +770,10 @@ Config parse_config(const std::string& text) {
                        "entries are supported";
         return config;
       }
-      const std::string rule = section.substr(6);
-      if (!known_rule(rule)) {
-        config.error = "section [" + section + "]: unknown rule '" + rule +
-                       "'";
+      const std::string rule = canonical_rule_name(section.substr(6));
+      if (rule.empty()) {
+        config.error = "section [" + section + "]: unknown rule '" +
+                       section.substr(6) + "'";
         return config;
       }
       config.allow_files[rule].insert(values.begin(), values.end());
@@ -788,27 +819,52 @@ Config parse_config(const std::string& text) {
   return config;
 }
 
-std::vector<Diagnostic> lint_file(const std::string& path,
-                                  const std::string& content,
-                                  const Config& config) {
-  const std::string stripped = strip_comments_and_strings(content);
-  const std::string allow_view = strip_impl(content, /*strip_comments=*/false);
-  const auto starts = line_starts(content);
-  FileScan scan{path,
-                content,
-                stripped,
-                starts,
-                split_lines(content),
-                split_lines(allow_view),
-                {},
-                {},
-                {}};
-  collect_allows(scan);
+namespace {
 
-  // Whole-file allowlist from the config: note which rules to skip.
+// Everything derived from one file's text that both the per-file rules
+// and the semantic passes need.
+struct PreparedFile {
+  std::string path;
+  std::string content;
+  std::string stripped;    // comments + strings blanked
+  std::string allow_view;  // strings blanked, comments kept
+  std::vector<std::size_t> starts;
+  std::vector<std::string> lines;
+  std::vector<std::string> allow_lines;
+};
+
+PreparedFile prepare_file(const std::string& path,
+                          const std::string& content) {
+  PreparedFile prep;
+  prep.path = path;
+  prep.content = content;
+  prep.stripped = strip_comments_and_strings(content);
+  prep.allow_view =
+      strip_impl(content, /*strip_comments=*/false, /*strip_strings=*/true);
+  prep.starts = line_starts(content);
+  prep.lines = split_lines(content);
+  prep.allow_lines = split_lines(prep.allow_view);
+  return prep;
+}
+
+// Runs the per-file rules and applies suppressions; copies the effective
+// allow map out so lint_repo can filter semantic diagnostics through the
+// same markers.
+std::vector<Diagnostic> run_per_file_rules(
+    const PreparedFile& prep, const Config& config,
+    std::map<int, std::set<std::string>>* effective_out) {
+  FileScan scan{prep.path, prep.content,     prep.stripped,
+                prep.starts, prep.lines,     prep.allow_lines,
+                {},          {},             {}};
+  collect_allows(scan);
+  if (effective_out != nullptr) *effective_out = scan.effective;
+
+  // Whole-file allowlist from the config: note which rules to skip. The
+  // gate is per-rule — a file allowlisted for banned-api is still checked
+  // by every other rule, including the semantic passes.
   std::set<std::string> file_allowed;
   for (const auto& [rule, files] : config.allow_files) {
-    if (files.count(path) != 0) file_allowed.insert(rule);
+    if (files.count(prep.path) != 0) file_allowed.insert(rule);
   }
 
   if (file_allowed.count("banned-api") == 0) check_banned_apis(scan);
@@ -818,9 +874,167 @@ std::vector<Diagnostic> lint_file(const std::string& path,
   if (file_allowed.count("layering") == 0) check_layering(scan, config);
   if (file_allowed.count("pragma-once") == 0) check_pragma_once(scan);
 
-  auto kept = apply_allows(scan);
+  return apply_allows(scan);
+}
+
+}  // namespace
+
+std::vector<Diagnostic> lint_file(const std::string& path,
+                                  const std::string& content,
+                                  const Config& config) {
+  const PreparedFile prep = prepare_file(path, content);
+  auto kept = run_per_file_rules(prep, config, nullptr);
   sort_diagnostics(kept);
   return kept;
+}
+
+std::vector<Diagnostic> lint_repo(const std::vector<SourceFile>& files,
+                                  const std::string& obs_doc_path,
+                                  const std::string& obs_doc,
+                                  const Config& config) {
+  std::vector<Diagnostic> all;
+  std::map<std::string, std::map<int, std::set<std::string>>> effective;
+  std::vector<FileIndex> index;
+  for (const auto& file : files) {
+    const PreparedFile prep = prepare_file(file.path, file.content);
+    auto kept = run_per_file_rules(prep, config, &effective[file.path]);
+    all.insert(all.end(), kept.begin(), kept.end());
+    // The semantic passes model src/ only — persist contracts, metric
+    // registries and shard contexts all live there; tests and benches
+    // exercise them but are not part of the contract surface.
+    if (prep.path.rfind("src/", 0) == 0) {
+      const std::string code_view =
+          strip_impl(file.content, /*strip_comments=*/true,
+                     /*strip_strings=*/false);
+      index.push_back(build_file_index(prep.path, prep.stripped, code_view,
+                                       prep.allow_view));
+    }
+  }
+  std::sort(index.begin(), index.end(),
+            [](const FileIndex& a, const FileIndex& b) {
+              return a.path < b.path;
+            });
+
+  std::vector<Diagnostic> semantic;
+  check_persist_coverage(index, &semantic);
+  if (!obs_doc.empty()) {
+    const ObsDoc doc = parse_obs_doc(obs_doc_path, obs_doc);
+    check_observability_registry(index, doc, &semantic);
+  }
+  check_thread_context(index, &semantic);
+
+  for (auto& diagnostic : semantic) {
+    const auto allowed = config.allow_files.find(diagnostic.rule);
+    if (allowed != config.allow_files.end() &&
+        allowed->second.count(diagnostic.file) != 0) {
+      continue;
+    }
+    bool suppressed = false;
+    const auto file_it = effective.find(diagnostic.file);
+    if (file_it != effective.end()) {
+      for (int line : {diagnostic.line, diagnostic.line - 1}) {
+        const auto line_it = file_it->second.find(line);
+        if (line_it != file_it->second.end() &&
+            line_it->second.count(diagnostic.rule) != 0) {
+          suppressed = true;
+          break;
+        }
+      }
+    }
+    if (!suppressed) all.push_back(std::move(diagnostic));
+  }
+  sort_diagnostics(all);
+  return all;
+}
+
+std::vector<std::string> parse_baseline(const std::string& text) {
+  std::vector<std::string> entries;
+  std::istringstream stream(text);
+  std::string line;
+  while (std::getline(stream, line)) {
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
+      line.pop_back();
+    }
+    if (line.empty() || line.front() == '#') continue;
+    entries.push_back(line);
+  }
+  return entries;
+}
+
+BaselineResult apply_baseline(std::vector<Diagnostic> diagnostics,
+                              const std::vector<std::string>& baseline) {
+  BaselineResult result;
+  std::multiset<std::string> pending(baseline.begin(), baseline.end());
+  for (auto& diagnostic : diagnostics) {
+    const auto it = pending.find(format_diagnostic(diagnostic));
+    if (it != pending.end()) {
+      pending.erase(it);
+      ++result.suppressed;
+    } else {
+      result.fresh.push_back(std::move(diagnostic));
+    }
+  }
+  result.stale.assign(pending.begin(), pending.end());
+  return result;
+}
+
+namespace {
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(c >> 4) & 0xf];
+          out += hex[c & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string format_json(const BaselineResult& result) {
+  std::string out = "{\n  \"schema\": \"gwlint.v1\",\n  \"diagnostics\": [";
+  for (std::size_t i = 0; i < result.fresh.size(); ++i) {
+    const Diagnostic& d = result.fresh[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"file\": \"" + json_escape(d.file) +
+           "\", \"line\": " + std::to_string(d.line) + ", \"id\": \"" +
+           json_escape(d.id) + "\", \"rule\": \"" + json_escape(d.rule) +
+           "\", \"message\": \"" + json_escape(d.message) + "\"}";
+  }
+  out += result.fresh.empty() ? "],\n" : "\n  ],\n";
+  out += "  \"baseline_suppressed\": " + std::to_string(result.suppressed) +
+         ",\n  \"stale_baseline\": [";
+  for (std::size_t i = 0; i < result.stale.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "    \"" + json_escape(result.stale[i]) + "\"";
+  }
+  out += result.stale.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
 }
 
 void sort_diagnostics(std::vector<Diagnostic>& diagnostics) {

@@ -26,6 +26,29 @@
 //                               that names no known rule or carries no
 //                               justification text.
 //
+// Three semantic rules run over a whole-repo declaration index (index.h,
+// semantic.h) rather than one file at a time:
+//
+//   GW006 persist-coverage      every non-static data member of a type that
+//                               defines persist() must be named inside the
+//                               persist body — snapshot field-list drift
+//                               becomes a lint failure, not a golden-CRC
+//                               surprise. References, raw pointers, const
+//                               and mutable members are exempt (wiring and
+//                               caches); anything else transient needs an
+//                               allow marker saying why.
+//   GW007 obs-registry          metric/journal names at obs:: registration
+//                               sites must be snake.case.dotted, one
+//                               instrument kind per name, and round-trip
+//                               against docs/OBSERVABILITY.md (undocumented
+//                               name or stale row — either direction is a
+//                               diagnostic).
+//   GW008 thread-context        call-graph coloring from gw::context
+//                               comment annotations (see
+//                               docs/STATIC_ANALYSIS.md): worker-context
+//                               code reaching a coordinator-only function
+//                               (or any post_apply site) is a diagnostic.
+//
 // Suppressions are comments of the form "gwlint" + ": allow(<rule>): <one-
 // line justification>" on the offending line or the line directly above it
 // (spelled out indirectly here so this very header does not register one).
@@ -86,12 +109,55 @@ struct Config {
 // layer and that the graph is acyclic.
 Config parse_config(const std::string& text);
 
-// Lints one file. `path` must be repo-relative with forward slashes — rule
-// applicability keys off it (layering and unordered-iteration only fire
-// under src/, GW002 also under bench/ where exports are written).
+// Lints one file with the per-file rules (GW001-GW005). `path` must be
+// repo-relative with forward slashes — rule applicability keys off it
+// (layering and unordered-iteration only fire under src/, GW002 also under
+// bench/ where exports are written). The semantic passes need the whole
+// repo and run only through lint_repo.
 std::vector<Diagnostic> lint_file(const std::string& path,
                                   const std::string& content,
                                   const Config& config);
+
+struct SourceFile {
+  std::string path;  // repo-relative, forward slashes
+  std::string content;
+};
+
+// Lints the whole tree: the per-file rules on every file, plus the
+// semantic passes (GW006-GW008) over a declaration index built from the
+// files under src/. `obs_doc` is the text of docs/OBSERVABILITY.md and
+// `obs_doc_path` its repo-relative path for diagnostics; pass an empty
+// `obs_doc` to skip GW007 (no doc means no contract to check). Inline
+// allow markers and per-rule whole-file config allows apply to the
+// semantic diagnostics exactly as to the per-file ones.
+std::vector<Diagnostic> lint_repo(const std::vector<SourceFile>& files,
+                                  const std::string& obs_doc_path,
+                                  const std::string& obs_doc,
+                                  const Config& config);
+
+// --- baseline -------------------------------------------------------------
+//
+// A baseline file holds one formatted diagnostic per line (the exact
+// format_diagnostic output); blank lines and '#' comments are skipped.
+// Baselined findings are suppressed; baselined lines that no longer fire
+// are *stale* and must be pruned — CI fails on them so the baseline only
+// ever shrinks.
+
+std::vector<std::string> parse_baseline(const std::string& text);
+
+struct BaselineResult {
+  std::vector<Diagnostic> fresh;      // fired and not baselined
+  std::vector<std::string> stale;     // baselined but did not fire
+  std::size_t suppressed = 0;         // fired and baselined
+};
+
+BaselineResult apply_baseline(std::vector<Diagnostic> diagnostics,
+                              const std::vector<std::string>& baseline);
+
+// Deterministic JSON rendering of a lint result (schema "gwlint.v1"):
+// byte-identical across runs for identical inputs, 2-space indented,
+// trailing newline. Diagnostics must already be sorted.
+std::string format_json(const BaselineResult& result);
 
 // Canonical ordering (file, line, id, message) — apply before printing.
 void sort_diagnostics(std::vector<Diagnostic>& diagnostics);

@@ -1,12 +1,22 @@
 // gwlint CLI — deterministic lint over the repo tree.
 //
-//   gwlint [--root DIR] [--config FILE] [--list-rules] [path...]
+//   gwlint [--root DIR] [--config FILE] [--list-rules]
+//          [--format=text|json] [--baseline FILE] [--write-baseline]
+//          [path...]
 //
 // Paths are repo-relative files or directories (directories are walked
-// recursively for *.h / *.cpp, in sorted order). Default: src. Exit code is
-// 1 when any diagnostic is emitted, 2 on usage/config errors. Output is
-// file:line-sorted and byte-stable across runs and machines — the same
-// contract the exports it protects are held to.
+// recursively for *.h / *.cpp, in sorted order). Default: src. The
+// semantic passes (GW006-GW008) read docs/OBSERVABILITY.md from the root
+// when present. Exit code is 1 when any fresh diagnostic or stale baseline
+// entry is emitted, 2 on usage/config errors. Output is file:line-sorted
+// and byte-stable across runs and machines — the same contract the exports
+// it protects are held to; check.sh byte-diffs two --format=json runs to
+// prove it.
+//
+// --baseline FILE suppresses the exact findings listed in FILE (one
+// formatted diagnostic per line, '#' comments allowed) and *fails* on
+// entries that no longer fire, so the baseline can only shrink.
+// --write-baseline rewrites FILE with the current findings.
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
@@ -32,9 +42,20 @@ std::string relative_slashes(const fs::path& path, const fs::path& root) {
   return rel;
 }
 
+bool read_file(const fs::path& path, std::string* out) {
+  std::ifstream stream(path);
+  if (!stream) return false;
+  std::stringstream buffer;
+  buffer << stream.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
-            << " [--root DIR] [--config FILE] [--list-rules] [path...]\n";
+            << " [--root DIR] [--config FILE] [--list-rules]"
+            << " [--format=text|json] [--baseline FILE] [--write-baseline]"
+            << " [path...]\n";
   return 2;
 }
 
@@ -43,8 +64,11 @@ int usage(const char* argv0) {
 int main(int argc, char** argv) {
   fs::path root = fs::current_path();
   std::string config_path;
+  std::string baseline_path;
+  std::string format = "text";
   std::vector<std::string> inputs;
   bool list_rules = false;
+  bool write_baseline = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -52,6 +76,13 @@ int main(int argc, char** argv) {
       root = argv[++i];
     } else if (arg == "--config" && i + 1 < argc) {
       config_path = argv[++i];
+    } else if (arg == "--baseline" && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (arg == "--write-baseline") {
+      write_baseline = true;
+    } else if (arg.rfind("--format=", 0) == 0) {
+      format = arg.substr(9);
+      if (format != "text" && format != "json") return usage(argv[0]);
     } else if (arg == "--list-rules") {
       list_rules = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -62,6 +93,10 @@ int main(int argc, char** argv) {
     } else {
       inputs.push_back(arg);
     }
+  }
+  if (write_baseline && baseline_path.empty()) {
+    std::cerr << "gwlint: --write-baseline requires --baseline FILE\n";
+    return 2;
   }
 
   if (list_rules) {
@@ -79,14 +114,12 @@ int main(int argc, char** argv) {
     config_path = (root / config_path).string();
   }
 
-  std::ifstream config_stream(config_path);
-  if (!config_stream) {
+  std::string config_text;
+  if (!read_file(config_path, &config_text)) {
     std::cerr << "gwlint: cannot open config " << config_path << "\n";
     return 2;
   }
-  std::stringstream config_text;
-  config_text << config_stream.rdbuf();
-  const gw::lint::Config config = gw::lint::parse_config(config_text.str());
+  const gw::lint::Config config = gw::lint::parse_config(config_text);
   if (!config.error.empty()) {
     std::cerr << "gwlint: bad config " << config_path << ": " << config.error
               << "\n";
@@ -96,7 +129,7 @@ int main(int argc, char** argv) {
   if (inputs.empty()) inputs.push_back("src");
 
   // Expand inputs to a sorted, de-duplicated file list.
-  std::vector<std::string> files;
+  std::vector<std::string> paths;
   for (const auto& input : inputs) {
     const fs::path path =
         fs::path(input).is_absolute() ? fs::path(input) : root / input;
@@ -106,42 +139,96 @@ int main(int argc, char** argv) {
            it.increment(ec)) {
         if (ec) break;
         if (it->is_regular_file() && has_lintable_extension(it->path())) {
-          files.push_back(relative_slashes(it->path(), root));
+          paths.push_back(relative_slashes(it->path(), root));
         }
       }
     } else if (fs::is_regular_file(path, ec)) {
-      files.push_back(relative_slashes(path, root));
+      paths.push_back(relative_slashes(path, root));
     } else {
       std::cerr << "gwlint: no such file or directory: " << input << "\n";
       return 2;
     }
   }
-  std::sort(files.begin(), files.end());
-  files.erase(std::unique(files.begin(), files.end()), files.end());
+  std::sort(paths.begin(), paths.end());
+  paths.erase(std::unique(paths.begin(), paths.end()), paths.end());
 
-  std::vector<gw::lint::Diagnostic> diagnostics;
-  for (const auto& file : files) {
-    std::ifstream stream(root / file);
-    if (!stream) {
+  std::vector<gw::lint::SourceFile> files;
+  files.reserve(paths.size());
+  for (const auto& file : paths) {
+    gw::lint::SourceFile source;
+    source.path = file;
+    if (!read_file(root / file, &source.content)) {
       std::cerr << "gwlint: cannot read " << file << "\n";
       return 2;
     }
-    std::stringstream content;
-    content << stream.rdbuf();
-    auto file_diagnostics = gw::lint::lint_file(file, content.str(), config);
-    diagnostics.insert(diagnostics.end(), file_diagnostics.begin(),
-                       file_diagnostics.end());
+    files.push_back(std::move(source));
   }
-  gw::lint::sort_diagnostics(diagnostics);
 
-  for (const auto& diagnostic : diagnostics) {
+  // The observability doc is the GW007 contract; absent doc, absent check.
+  const std::string obs_doc_path = "docs/OBSERVABILITY.md";
+  std::string obs_doc;
+  read_file(root / obs_doc_path, &obs_doc);
+
+  std::vector<gw::lint::Diagnostic> diagnostics =
+      gw::lint::lint_repo(files, obs_doc_path, obs_doc, config);
+
+  if (write_baseline) {
+    const fs::path out_path = fs::path(baseline_path).is_relative()
+                                  ? root / baseline_path
+                                  : fs::path(baseline_path);
+    std::ofstream out(out_path);
+    if (!out) {
+      std::cerr << "gwlint: cannot write baseline " << baseline_path << "\n";
+      return 2;
+    }
+    for (const auto& diagnostic : diagnostics) {
+      out << gw::lint::format_diagnostic(diagnostic) << "\n";
+    }
+    std::cout << "gwlint: wrote " << diagnostics.size()
+              << " baseline entr" << (diagnostics.size() == 1 ? "y" : "ies")
+              << " to " << baseline_path << "\n";
+    return 0;
+  }
+
+  gw::lint::BaselineResult result;
+  if (!baseline_path.empty()) {
+    const fs::path in_path = fs::path(baseline_path).is_relative()
+                                 ? root / baseline_path
+                                 : fs::path(baseline_path);
+    std::string baseline_text;
+    if (!read_file(in_path, &baseline_text)) {
+      std::cerr << "gwlint: cannot read baseline " << baseline_path << "\n";
+      return 2;
+    }
+    result = gw::lint::apply_baseline(std::move(diagnostics),
+                                      gw::lint::parse_baseline(baseline_text));
+  } else {
+    result.fresh = std::move(diagnostics);
+  }
+
+  if (format == "json") {
+    std::cout << gw::lint::format_json(result);
+    return result.fresh.empty() && result.stale.empty() ? 0 : 1;
+  }
+
+  for (const auto& diagnostic : result.fresh) {
     std::cout << gw::lint::format_diagnostic(diagnostic) << "\n";
   }
-  if (!diagnostics.empty()) {
-    std::cout << "gwlint: " << diagnostics.size() << " diagnostic(s) in "
+  for (const auto& entry : result.stale) {
+    std::cout << "gwlint: stale baseline entry (no longer fires; prune it): "
+              << entry << "\n";
+  }
+  if (!result.fresh.empty() || !result.stale.empty()) {
+    std::cout << "gwlint: " << result.fresh.size() << " diagnostic(s), "
+              << result.stale.size() << " stale baseline entr"
+              << (result.stale.size() == 1 ? "y" : "ies") << " in "
               << files.size() << " file(s)\n";
     return 1;
   }
-  std::cout << "gwlint: " << files.size() << " file(s) clean\n";
+  std::cout << "gwlint: " << files.size() << " file(s) clean";
+  if (result.suppressed != 0) {
+    std::cout << " (" << result.suppressed << " baselined)";
+  }
+  std::cout << "\n";
   return 0;
 }

@@ -1,0 +1,59 @@
+// The three semantic passes (GW006-GW008) over the declaration index.
+//
+// These run once per lint invocation, not per file: GW006 resolves
+// out-of-line persist() bodies across translation units, GW007 reconciles
+// metric sites against docs/OBSERVABILITY.md, and GW008 colors a call
+// graph. Diagnostics come back unsuppressed — the caller applies inline
+// allow markers and whole-file config allows, exactly as for the per-file
+// rules.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "index.h"
+#include "lint.h"
+
+namespace gw::lint {
+
+// docs/OBSERVABILITY.md reduced to its contract rows. A metric row is a
+// markdown table line whose first cell is a backticked dotted name
+// (`component.name`, possibly with `<placeholder>` segments) and whose
+// second cell names the instrument kind; a journal row is a backticked
+// dot-free snake_case name (an event-type string).
+struct ObsDoc {
+  std::string path;  // repo-relative, for diagnostics
+
+  struct MetricRow {
+    std::string name;
+    std::string kind;  // "counter"/"gauge"/"histogram", or "" if unparsed
+    int line = 0;
+    bool placeholder = false;  // contains a <...> segment
+  };
+  struct JournalRow {
+    std::string name;
+    int line = 0;
+  };
+  std::vector<MetricRow> metrics;
+  std::vector<JournalRow> journal;
+};
+
+ObsDoc parse_obs_doc(const std::string& path, const std::string& text);
+
+// GW006: every non-exempt data member of a persisting type must be named
+// in its persist() body.
+void check_persist_coverage(const std::vector<FileIndex>& index,
+                            std::vector<Diagnostic>* diagnostics);
+
+// GW007: metric/journal names are snake-case-dotted, kind-consistent, and
+// round-trip against the doc (code -> doc and doc -> code).
+void check_observability_registry(const std::vector<FileIndex>& index,
+                                  const ObsDoc& doc,
+                                  std::vector<Diagnostic>* diagnostics);
+
+// GW008: call-graph coloring from gw::context annotations; worker-context
+// code must not reach coordinator-only functions.
+void check_thread_context(const std::vector<FileIndex>& index,
+                          std::vector<Diagnostic>* diagnostics);
+
+}  // namespace gw::lint
